@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Reproduce Figure 2 of the paper, live.
+
+Prints the worked example's run table — candidate, verdict, pruning
+pattern, discovered holes — while the synthesis engine executes the toy
+state graph, then the headline comparison: 10 model-checker runs with
+candidate pruning versus 24 with naive enumeration.
+
+Run:  python examples/figure2_walkthrough.py
+"""
+
+from repro.core import SynthesisConfig, SynthesisEngine
+from repro.core.candidate import WILDCARD, CandidateVector, format_candidate
+from repro.core.engine import SynthesisObserver
+from repro.protocols.toy import build_figure2_skeleton
+
+
+class Figure2Printer(SynthesisObserver):
+    """Prints rows in the paper's notation as the engine runs."""
+
+    def __init__(self) -> None:
+        self._known = 0
+
+    def on_run(self, run_index, vector, result, holes):
+        pad = max(0, self._known - len(vector))
+        entries = list(vector.entries) + [WILDCARD] * pad
+        candidate = format_candidate(CandidateVector(entries), holes)
+        discovered = [h.name for h in holes[self._known:]]
+        self._known = len(holes)
+        note = f"  discovers {', '.join(discovered)}" if discovered else ""
+        print(f"run {run_index:2d}  {candidate:28s} {result.verdict.value:8s}{note}")
+
+    def on_pattern(self, pattern, holes):
+        entries = []
+        for position in range(pattern.max_position + 1):
+            entries.append(dict(pattern.constraints).get(position, WILDCARD))
+        text = format_candidate(CandidateVector(entries), holes)
+        print(f"{'':7s}-> pruning pattern {text}")
+
+    def on_solution(self, solution, holes):
+        print(f"{'':7s}-> solution found")
+
+
+def main() -> None:
+    print("Figure 2 worked example: candidate pruning")
+    print(f"{'':8s}{'Candidate':28s} {'Verdict':8s} {'Pruning pattern':28s}")
+    observer = Figure2Printer()
+    pruned = SynthesisEngine(build_figure2_skeleton(), SynthesisConfig(), observer)
+    report = pruned.run()
+
+    naive = SynthesisEngine(
+        build_figure2_skeleton(), SynthesisConfig(pruning=False)
+    ).run()
+
+    print()
+    print(f"with pruning: {report.evaluated} candidates evaluated "
+          f"(paper: 10)")
+    print(f"naive:        {naive.evaluated} candidates evaluated (paper: 24)")
+    print(f"solution:     {report.format_solution(report.solutions[0])}")
+
+
+if __name__ == "__main__":
+    main()

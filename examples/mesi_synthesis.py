@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Synthesise the Exclusive-grant decision of a MESI protocol.
+
+MESI's whole point is the E state: a cache granted the only copy may write
+silently, without asking the directory.  We blank out the cache's
+"exclusive data arrived" rule and ask the synthesiser: what should a cache
+do when it asked to *read* and the directory granted *exclusively*?
+
+The action library admits plausible wrong answers — treat it like a shared
+grant (``goto_S``: correct, but then E is never used and the silent-upgrade
+optimisation is dead), or forget the acknowledgement (the directory's
+serialisation transient hangs).  With the "some cache reaches E" coverage
+property, exactly one completion survives.
+
+Run:  python examples/mesi_synthesis.py [n_caches]
+"""
+
+import sys
+
+from repro.core import SynthesisConfig, SynthesisEngine
+from repro.protocols.mesi import build_mesi_skeleton, reference_assignment_for
+
+
+def main() -> None:
+    n_caches = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    system, holes = build_mesi_skeleton(n_caches=n_caches)
+    print(f"skeleton: {system.name}; blanked rule: IS_D + DataE")
+    for hole in holes:
+        print(f"  {hole.name}: {[a.name for a in hole.domain]}")
+
+    report = SynthesisEngine(system, SynthesisConfig()).run()
+    print()
+    print(report.summary())
+
+    reference = reference_assignment_for(holes)
+    found = [dict(s.assignment) for s in report.solutions]
+    print()
+    if found == [reference]:
+        print("unique solution = the textbook completion:")
+        for hole_name, action in sorted(reference.items()):
+            print(f"  {hole_name} = {action}")
+
+    # Show what happens without the E-coverage property.
+    system2, _holes2 = build_mesi_skeleton(n_caches=n_caches, coverage=False)
+    without = SynthesisEngine(system2).run()
+    print()
+    print(
+        f"without coverage properties: {len(without.solutions)} solutions — "
+        "including MSI-degenerate completions that never use E"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Regenerate Table I of the paper.
+
+Rows and gating:
+
+* MSI-tiny rows always run (not in the paper; a fast sanity row).
+* MSI-small rows run by default: pruning x {1, 4} threads measured, the
+  naive baseline measured in full with ``--naive-full`` or estimated from
+  a random sample of candidate checks otherwise.
+* MSI-large rows with ``--large`` (tens of minutes in CPython).
+
+Run:  python examples/table1.py [--large] [--naive-full] [--caches N]
+"""
+
+import argparse
+
+from repro.analysis.stats import estimate_naive_seconds, sample_candidate_cost
+from repro.analysis.tables import format_table, render_table1_row
+from repro.core import SynthesisConfig, SynthesisEngine
+from repro.core.parallel import ParallelSynthesisEngine
+from repro.protocols.msi import msi_large, msi_small, msi_tiny
+
+
+def measure(system, pruning=True, threads=1):
+    if threads == 1:
+        return SynthesisEngine(system, SynthesisConfig(pruning=pruning)).run()
+    return ParallelSynthesisEngine(
+        system, SynthesisConfig(pruning=pruning), threads=threads
+    ).run()
+
+
+def rows_for(name, factory, caches, naive_full, rows):
+    skeleton = factory(caches)
+    print(f"[{name}] pruning, 1 thread ...", flush=True)
+    pruned = measure(skeleton.system)
+    rows.append(render_table1_row(f"{name} 1 thread, pruning", pruned))
+
+    print(f"[{name}] pruning, 4 threads ...", flush=True)
+    parallel = measure(factory(caches).system, threads=4)
+    rows.append(render_table1_row(f"{name} 4 threads, pruning", parallel))
+
+    if naive_full:
+        print(f"[{name}] naive (full) ...", flush=True)
+        naive = measure(factory(caches).system, pruning=False)
+        rows.append(render_table1_row(f"{name} 1 thread, no pruning", naive))
+    else:
+        print(f"[{name}] naive (estimating from a sample) ...", flush=True)
+        sample = sample_candidate_cost(factory(caches), samples=25)
+        naive_candidates = pruned.naive_candidate_space
+        estimate = estimate_naive_seconds(
+            naive_candidates, 1, sample["mean_seconds"]
+        )
+        row = render_table1_row(
+            f"{name} 1 thread, no pruning",
+            pruned,
+            evaluated_override=naive_candidates,
+            seconds_override=estimate,
+            estimated=True,
+        )
+        row["Candidates"] = naive_candidates
+        row["Pruning Patterns"] = None
+        rows.append(row)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--large", action="store_true", help="run MSI-large rows")
+    parser.add_argument(
+        "--naive-full", action="store_true",
+        help="measure naive baselines in full instead of estimating",
+    )
+    parser.add_argument("--caches", type=int, default=2)
+    args = parser.parse_args()
+
+    rows = []
+    print("[MSI-tiny] ...", flush=True)
+    tiny_naive = measure(msi_tiny(args.caches).system, pruning=False)
+    rows.append(render_table1_row("MSI-tiny 1 thread, no pruning", tiny_naive))
+    tiny = measure(msi_tiny(args.caches).system)
+    rows.append(render_table1_row("MSI-tiny 1 thread, pruning", tiny))
+
+    rows_for("MSI-small", msi_small, args.caches, args.naive_full, rows)
+    if args.large:
+        rows_for("MSI-large", msi_large, args.caches, args.naive_full, rows)
+
+    print()
+    print(format_table(rows))
+    print("\n(naive rows marked 'estimated' extrapolate mean sampled candidate-check"
+          "\n cost to the full candidate space; see DESIGN.md substitution 1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim (this environment lacks `wheel` for PEP 517 builds)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "VerC3 reproduction: explicit state synthesis of concurrent systems"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

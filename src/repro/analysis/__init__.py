@@ -1,0 +1,14 @@
+"""Analysis of synthesis results: behavioural grouping and table rendering."""
+
+from repro.analysis.grouping import SolutionGroup, group_solutions
+from repro.analysis.stats import RunComparison, compare_reports
+from repro.analysis.tables import format_table, render_table1_row
+
+__all__ = [
+    "RunComparison",
+    "SolutionGroup",
+    "compare_reports",
+    "format_table",
+    "group_solutions",
+    "render_table1_row",
+]

@@ -1,0 +1,74 @@
+"""Behavioural grouping of synthesised solutions.
+
+The paper (Section III): "for correctly verified solutions of the protocol,
+the model checker reports 5207, 6025 or 6332 visited states: even though up
+to 12 distinct solutions can be generated (for MSI-large), we could group
+them into 3 sets, where solutions within each set behave equivalently, yet
+subtly different from the other sets."
+
+Two solutions behave equivalently when they induce the same reachable state
+graph.  We group by the order-independent fingerprint of the visited state
+set when available (``SynthesisConfig(compute_fingerprints=True)``), falling
+back to the visited-state *count* — exactly the signal the paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.report import Solution, SynthesisReport
+
+
+@dataclass(frozen=True)
+class SolutionGroup:
+    """A set of behaviourally equivalent solutions."""
+
+    key: Tuple
+    states_visited: int
+    solutions: Tuple[Solution, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.solutions)
+
+
+def group_solutions(solutions: Sequence[Solution]) -> List[SolutionGroup]:
+    """Group solutions by behaviour (fingerprint, else state count).
+
+    Groups are returned sorted by visited-state count then size, largest
+    state spaces first (the paper lists its groups by state count).
+    """
+    buckets: Dict[Tuple, List[Solution]] = {}
+    for solution in solutions:
+        if solution.fingerprint is not None:
+            key = ("fingerprint", solution.fingerprint)
+        else:
+            key = ("states", solution.states_visited)
+        buckets.setdefault(key, []).append(solution)
+    groups = [
+        SolutionGroup(
+            key=key,
+            states_visited=members[0].states_visited,
+            solutions=tuple(members),
+        )
+        for key, members in buckets.items()
+    ]
+    groups.sort(key=lambda g: (-g.states_visited, -g.size))
+    return groups
+
+
+def describe_groups(report: SynthesisReport) -> str:
+    """Human-readable group summary, in the style of the paper's Section III."""
+    groups = group_solutions(report.solutions)
+    lines = [
+        f"{len(report.solutions)} solutions in {len(groups)} behavioural group(s):"
+    ]
+    for index, group in enumerate(groups, start=1):
+        lines.append(
+            f"  group {index}: {group.size} solution(s), "
+            f"{group.states_visited} visited states"
+        )
+        for solution in group.solutions:
+            lines.append(f"    {report.format_solution(solution)}")
+    return "\n".join(lines)

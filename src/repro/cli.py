@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``verify <protocol>`` — model check a complete protocol and print the
+  verdict, state counts, and (on failure) the minimal counterexample.
+* ``synth <skeleton>`` — run hole synthesis on a skeleton and print the
+  report and behavioural solution groups.
+* ``list`` — list available protocols and skeletons.
+
+Examples::
+
+    python -m repro verify msi --caches 3 --evictions
+    python -m repro synth msi-small --threads 4
+    python -m repro synth mutex --naive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.grouping import describe_groups
+from repro.core import SynthesisConfig, SynthesisEngine
+from repro.core.parallel import ParallelSynthesisEngine
+from repro.mc.bfs import BfsExplorer, ExplorationLimits
+from repro.mc.dfs import DfsExplorer
+from repro.protocols.mesi import build_mesi_skeleton, build_mesi_system
+from repro.protocols.msi import msi_large, msi_read_tiny, msi_small, msi_tiny
+from repro.protocols.msi.defs import format_state
+from repro.protocols.msi.skeleton import msi_evict
+from repro.protocols.msi.system import build_msi_system
+from repro.protocols.mutex import build_mutex_skeleton, build_mutex_system
+from repro.protocols.toy import build_figure2_skeleton
+from repro.protocols.vi import build_vi_skeleton, build_vi_system
+
+#: complete protocols: name -> builder(n, **kwargs)
+PROTOCOLS: Dict[str, Callable] = {
+    "msi": lambda n, evictions=False, symmetry=True: build_msi_system(
+        n, evictions=evictions, symmetry=symmetry
+    ),
+    "mesi": lambda n, evictions=False, symmetry=True: build_mesi_system(
+        n, symmetry=symmetry
+    ),
+    "vi": lambda n, evictions=False, symmetry=True: build_vi_system(n, symmetry=symmetry),
+    "mutex": lambda n, evictions=False, symmetry=True: build_mutex_system(
+        n, symmetry=symmetry
+    ),
+}
+
+#: skeletons: name -> builder(n) returning a TransitionSystem
+SKELETONS: Dict[str, Callable] = {
+    "msi-tiny": lambda n: msi_tiny(n).system,
+    "msi-read-tiny": lambda n: msi_read_tiny(n).system,
+    "msi-small": lambda n: msi_small(n).system,
+    "msi-large": lambda n: msi_large(n).system,
+    "msi-evict": lambda n: msi_evict(n).system,
+    "mesi": lambda n: build_mesi_skeleton(n_caches=n)[0],
+    "vi": lambda n: build_vi_skeleton(n)[0],
+    "mutex": lambda n: build_mutex_skeleton(n)[0],
+    "figure2": lambda n: build_figure2_skeleton(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VerC3 reproduction: explicit state synthesis of concurrent systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="model check a complete protocol")
+    verify.add_argument("protocol", choices=sorted(PROTOCOLS))
+    verify.add_argument("--caches", "--procs", dest="replicas", type=int, default=2)
+    verify.add_argument("--evictions", action="store_true")
+    verify.add_argument("--no-symmetry", action="store_true")
+    verify.add_argument("--dfs", action="store_true", help="depth-first search")
+    verify.add_argument("--max-states", type=int, default=None)
+
+    synth = sub.add_parser("synth", help="synthesise holes in a skeleton")
+    synth.add_argument("skeleton", choices=sorted(SKELETONS))
+    synth.add_argument("--caches", "--procs", dest="replicas", type=int, default=2)
+    synth.add_argument("--threads", type=int, default=1)
+    synth.add_argument("--naive", action="store_true", help="disable pruning")
+    synth.add_argument("--refined", action="store_true",
+                       help="refined trace-based pruning patterns")
+    synth.add_argument("--solution-limit", type=int, default=None)
+    synth.add_argument("--max-evaluations", type=int, default=None)
+    synth.add_argument("--groups", action="store_true",
+                       help="fingerprint solutions and print behavioural groups")
+
+    sub.add_parser("list", help="list protocols and skeletons")
+    return parser
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    system = PROTOCOLS[args.protocol](
+        args.replicas, evictions=args.evictions, symmetry=not args.no_symmetry
+    )
+    explorer_cls = DfsExplorer if args.dfs else BfsExplorer
+    limits = ExplorationLimits(max_states=args.max_states)
+    result = explorer_cls(system, limits=limits).run()
+    print(f"{system.name}: {result.summary()}")
+    if result.trace is not None:
+        formatter = format_state if args.protocol == "msi" else repr
+        print("counterexample:")
+        print(result.trace.format(formatter))
+    return 0 if result.is_success else 1
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    system = SKELETONS[args.skeleton](args.replicas)
+    config = SynthesisConfig(
+        pruning=not args.naive,
+        refined_patterns=args.refined,
+        solution_limit=args.solution_limit,
+        max_evaluations=args.max_evaluations,
+        compute_fingerprints=args.groups,
+    )
+    if args.threads > 1:
+        report = ParallelSynthesisEngine(system, config, threads=args.threads).run()
+    else:
+        report = SynthesisEngine(system, config).run()
+    print(report.summary())
+    if args.groups:
+        print()
+        print(describe_groups(report))
+    return 0 if report.solutions else 1
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("protocols (verify):")
+    for name in sorted(PROTOCOLS):
+        print(f"  {name}")
+    print("skeletons (synth):")
+    for name in sorted(SKELETONS):
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"verify": cmd_verify, "synth": cmd_synth, "list": cmd_list}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Actions: the designer-provided pure functions that fill holes.
+
+The paper: "for each hole a pre-selected set of pure functions (with
+arbitrary arguments) can be selected to be enumerated by the synthesizer"
+— e.g. coherence-protocol actions like "respond to requester with data",
+similar to SLICC actions.
+
+An :class:`Action` is a named wrapper around an arbitrary callable.  The
+synthesiser never inspects the callable; it only enumerates over a hole's
+ordered action domain.  Purity (no hidden mutable state) is the designer's
+obligation — an impure action would make verification results meaningless.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Action:
+    """A named pure function usable as a hole filling.
+
+    Args:
+        name: unique within a hole's domain; appears in reports and in the
+            candidate notation ``<1@name, ...>``.
+        fn: the callable invoked by the rule body; ``None`` for marker
+            actions whose meaning the rule body interprets by name (e.g.
+            a "next state" action that is just a state label).
+        payload: arbitrary static data the rule body may interpret
+            (e.g. the target state for "next state" actions).
+    """
+
+    __slots__ = ("name", "fn", "payload")
+
+    def __init__(self, name: str, fn: Optional[Callable[..., Any]] = None,
+                 payload: Any = None) -> None:
+        if not name:
+            raise ValueError("action name must be non-empty")
+        self.name = name
+        self.fn = fn
+        self.payload = payload
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        if self.fn is None:
+            raise TypeError(
+                f"action {self.name!r} has no callable; interpret its payload instead"
+            )
+        return self.fn(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"Action({self.name!r})"
+
+
+def action(name: str) -> Callable[[Callable[..., Any]], Action]:
+    """Decorator: ``@action("send_data")`` wraps a function as an Action."""
+
+    def decorate(fn: Callable[..., Any]) -> Action:
+        return Action(name, fn)
+
+    return decorate

@@ -1,0 +1,116 @@
+"""Candidate configuration vectors.
+
+The synthesis procedure represents the set of discovered holes and the
+current assignment as a vector of action indices — the paper's "candidate
+configuration vector" — ordered by discovery.  Undiscovered or unassigned
+holes carry the :data:`WILDCARD` sentinel: resolving a wildcard hole aborts
+the model checker's current execution branch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.hole import Hole
+from repro.errors import CandidateError
+
+
+class _Wildcard:
+    """Singleton sentinel for the wildcard (default) hole assignment."""
+
+    _instance: Optional["_Wildcard"] = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "?"
+
+
+#: The wildcard assignment: "no action chosen yet; cut execution here".
+WILDCARD = _Wildcard()
+
+
+class CandidateVector:
+    """An immutable assignment of action indices to the first N holes.
+
+    ``entries[i]`` is the index into ``holes[i].domain`` or :data:`WILDCARD`.
+    Holes discovered *after* this vector was built are implicitly wildcards.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Sequence) -> None:
+        self.entries: Tuple = tuple(entries)
+        for entry in self.entries:
+            if entry is WILDCARD:
+                continue
+            if not isinstance(entry, int) or entry < 0:
+                raise CandidateError(f"invalid candidate entry {entry!r}")
+
+    @classmethod
+    def empty(cls) -> "CandidateVector":
+        return cls(())
+
+    @classmethod
+    def from_digits(cls, digits: Sequence[int]) -> "CandidateVector":
+        return cls(tuple(digits))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CandidateVector):
+            return NotImplemented
+        return self.entries == other.entries
+
+    def __hash__(self) -> int:
+        return hash(self.entries)
+
+    def action_index(self, position: int):
+        """Entry at ``position``; positions beyond the vector are wildcards."""
+        if position < len(self.entries):
+            return self.entries[position]
+        return WILDCARD
+
+    def assigned_positions(self) -> Tuple[int, ...]:
+        return tuple(
+            index for index, entry in enumerate(self.entries) if entry is not WILDCARD
+        )
+
+    def constraints(self) -> Tuple[Tuple[int, int], ...]:
+        """The (position, action_index) pairs of non-wildcard entries."""
+        return tuple(
+            (index, entry)
+            for index, entry in enumerate(self.entries)
+            if entry is not WILDCARD
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            "?" if entry is WILDCARD else str(entry) for entry in self.entries
+        )
+        return f"CandidateVector([{inner}])"
+
+
+def format_candidate(vector: CandidateVector, holes: Sequence[Hole]) -> str:
+    """Render a candidate in the paper's notation, e.g. ``<1@B, 2@?>``.
+
+    Hole numbering is 1-based to match Figure 2 of the paper; the action is
+    shown by name.
+    """
+    parts = []
+    for position, entry in enumerate(vector.entries):
+        if entry is WILDCARD:
+            label = "?"
+        else:
+            hole = holes[position]
+            if entry >= hole.arity:
+                raise CandidateError(
+                    f"action index {entry} out of range for hole {hole.name!r}"
+                )
+            label = hole.domain[entry].name
+        parts.append(f"{position + 1}@{label}")
+    return "<" + ", ".join(parts) + ">"

@@ -1,0 +1,134 @@
+"""Lazy hole discovery and candidate-driven hole resolution.
+
+The paper: "initially, no holes are known to the synthesis procedure, i.e.
+holes are discovered lazily. Upon model checking, any newly encountered hole
+is registered and the default action substituted" — where with pruning
+enabled the default action is the wildcard, cutting the execution branch.
+
+:class:`HoleRegistry` is the "global candidate vector" of the paper's
+parallel-synthesis section: a thread-safe, append-only, discovery-ordered
+registry of holes.  Reads (the common case: look up an already-discovered
+hole's position) are lock-free — a deliberate mirror of the paper's
+lock-free hot path; only first-time registration takes the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.candidate import WILDCARD, CandidateVector
+from repro.core.hole import Hole
+from repro.errors import SynthesisError, WildcardEncountered
+
+
+class HoleRegistry:
+    """Append-only, discovery-ordered registry of holes (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._holes: List[Hole] = []
+        self._positions: Dict[Hole, int] = {}
+        self._names: Dict[str, Hole] = {}
+
+    def position_of(self, hole: Hole, register: bool = True) -> Optional[int]:
+        """Return the discovery position of ``hole``.
+
+        With ``register=True`` (the resolver's mode), an unknown hole is
+        appended and its new position returned; with ``register=False`` an
+        unknown hole yields ``None``.
+        """
+        position = self._positions.get(hole)  # lock-free fast path
+        if position is not None or not register:
+            return position
+        with self._lock:
+            position = self._positions.get(hole)
+            if position is not None:
+                return position
+            if hole.name in self._names:
+                raise SynthesisError(
+                    f"two distinct holes share the name {hole.name!r}"
+                )
+            position = len(self._holes)
+            self._holes.append(hole)
+            self._positions[hole] = position
+            self._names[hole.name] = hole
+            return position
+
+    @property
+    def holes(self) -> Tuple[Hole, ...]:
+        """Snapshot of discovered holes in discovery order."""
+        with self._lock:
+            return tuple(self._holes)
+
+    def hole_named(self, name: str) -> Hole:
+        hole = self._names.get(name)
+        if hole is None:
+            raise KeyError(f"no discovered hole named {name!r}")
+        return hole
+
+    def __len__(self) -> int:
+        return len(self._holes)
+
+    def radices(self) -> Tuple[int, ...]:
+        """Domain sizes of discovered holes, discovery order."""
+        with self._lock:
+            return tuple(hole.arity for hole in self._holes)
+
+
+class DefaultingResolver:
+    """Naive-mode resolver: unassigned holes get a default action, not a cut.
+
+    This reproduces the paper's behaviour *without* candidate pruning: "any
+    newly encountered hole is registered and the default action substituted,
+    such that the model checker may continue on the current branch of
+    execution".  We use ``default_index`` (conventionally 0, so skeletons
+    should order a benign action first) as the default.
+    """
+
+    def __init__(
+        self,
+        registry: HoleRegistry,
+        vector: CandidateVector,
+        default_index: int = 0,
+    ) -> None:
+        self._registry = registry
+        self._vector = vector
+        self._default_index = default_index
+
+    def resolve(self, hole: Hole):
+        position = self._registry.position_of(hole, register=True)
+        entry = self._vector.action_index(position)
+        if entry is WILDCARD:
+            entry = min(self._default_index, hole.arity - 1)
+        if entry >= hole.arity:
+            raise SynthesisError(
+                f"candidate assigns action index {entry} to hole {hole.name!r} "
+                f"with arity {hole.arity}"
+            )
+        return hole.domain[entry]
+
+
+class CandidateResolver:
+    """Resolve holes against a candidate vector, discovering new holes.
+
+    Holes at positions beyond the vector — or at positions the vector marks
+    as wildcards — raise :class:`~repro.errors.WildcardEncountered`, which
+    the model checker interprets as "abort this execution branch".
+    """
+
+    def __init__(self, registry: HoleRegistry, vector: CandidateVector) -> None:
+        self._registry = registry
+        self._vector = vector
+
+    def resolve(self, hole: Hole):
+        position = self._registry.position_of(hole, register=True)
+        entry = self._vector.action_index(position)
+        if entry is WILDCARD:
+            raise WildcardEncountered(hole.name)
+        if entry >= hole.arity:
+            raise SynthesisError(
+                f"candidate assigns action index {entry} to hole {hole.name!r} "
+                f"with arity {hole.arity}"
+            )
+        return hole.domain[entry]

@@ -1,0 +1,242 @@
+"""Candidate pruning: the paper's key contribution.
+
+When a candidate fails, its configuration — including wildcard entries for
+holes discovered but not yet assigned — is recorded as a *pruning pattern*.
+Soundness (paper, Section II): if candidate ``C`` fails with an error trace
+executing the hole subset ``Ct ⊆ C``, every ``C'`` with ``Ct ⊆ C'`` fails
+with the same trace.  A pattern therefore constrains only the non-wildcard
+positions; any candidate agreeing on all constrained positions is inferred
+to fail without model checking.
+
+Two matching engines are provided:
+
+* :meth:`PruningTable.matches` — flat per-candidate matching, the behaviour
+  of the paper's C++ lookup table.  Fine for millions of candidates in C++;
+  too slow in CPython for the billion-candidate MSI-large space.
+* :class:`DfsMatcher` — an incremental matcher driven by the subtree-
+  skipping enumerator (:mod:`repro.core.enumeration`).  Digits are pushed
+  and popped in position order; the instant every constraint of a pattern is
+  satisfied, the whole subtree below the pattern's last constrained position
+  is skipped and its size counted analytically.  Patterns may be added
+  mid-walk (from this thread's own failures or from other threads), which is
+  how parallel workers "make use of another thread's registered patterns as
+  soon as they become available" (paper, Section II, Parallel Synthesis).
+
+The same machinery is reused for *success patterns* (solutions found in an
+earlier pass whose unconstrained holes are provably unreachable and hence
+don't-cares): matching candidates are skipped without being re-verified or
+double-counted.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.candidate import WILDCARD, CandidateVector
+
+
+class PruningPattern:
+    """An immutable conjunction of (position, action_index) constraints."""
+
+    __slots__ = ("constraints", "max_position", "_hash")
+
+    def __init__(self, constraints: Iterable[Tuple[int, int]]) -> None:
+        ordered = tuple(sorted(constraints))
+        positions = [position for position, _action in ordered]
+        if len(set(positions)) != len(positions):
+            raise ValueError("pattern constrains a position twice")
+        for position, action in ordered:
+            if position < 0 or action < 0:
+                raise ValueError("pattern constraints must be non-negative")
+        self.constraints = ordered
+        self.max_position = positions[-1] if positions else -1
+        self._hash = hash(ordered)
+
+    @classmethod
+    def from_candidate(cls, vector: CandidateVector) -> "PruningPattern":
+        """Pattern recording a failed candidate: its non-wildcard entries."""
+        return cls(vector.constraints())
+
+    @property
+    def is_empty(self) -> bool:
+        """An empty pattern matches everything: the model is inherently faulty."""
+        return not self.constraints
+
+    def matches(self, vector: CandidateVector) -> bool:
+        """Does ``vector`` satisfy every constraint of this pattern?
+
+        Wildcard entries in the candidate do *not* satisfy constraints: a
+        pattern constraining a position the candidate leaves wildcard is not
+        (yet) a certain failure for it.
+        """
+        for position, action in self.constraints:
+            if vector.action_index(position) != action:
+                return False
+        return True
+
+    def subsumes(self, other: "PruningPattern") -> bool:
+        """True if every candidate matched by ``other`` is matched by self."""
+        return set(self.constraints) <= set(other.constraints)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PruningPattern):
+            return NotImplemented
+        return self.constraints == other.constraints
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p}@{a}" for p, a in self.constraints)
+        return f"PruningPattern({inner})"
+
+
+class PruningTable:
+    """A versioned, thread-safe store of pruning patterns.
+
+    ``version`` increases with every accepted pattern; matchers track the
+    version up to which they have integrated patterns and fetch the delta
+    with :meth:`patterns_since`.
+    """
+
+    def __init__(self, subsumption: bool = True) -> None:
+        self._lock = threading.Lock()
+        self._patterns: List[PruningPattern] = []
+        self._seen: set = set()
+        self._subsumption = subsumption
+
+    def add(self, pattern: PruningPattern) -> bool:
+        """Insert a pattern; returns False if it was redundant.
+
+        With subsumption enabled, a pattern already implied by a stored
+        pattern is rejected (keeping the table small); stored patterns that
+        the new pattern subsumes are *not* removed (removal would invalidate
+        matcher snapshots; the duplicate work is only a slightly larger
+        table).
+        """
+        with self._lock:
+            if pattern.constraints in self._seen:
+                return False
+            if self._subsumption:
+                for existing in self._patterns:
+                    if existing.subsumes(pattern):
+                        return False
+            self._patterns.append(pattern)
+            self._seen.add(pattern.constraints)
+            return True
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    @property
+    def version(self) -> int:
+        return len(self._patterns)
+
+    def patterns_since(self, version: int) -> List[PruningPattern]:
+        """Patterns added after ``version`` (a past value of :attr:`version`)."""
+        with self._lock:
+            return self._patterns[version:]
+
+    def all_patterns(self) -> List[PruningPattern]:
+        with self._lock:
+            return list(self._patterns)
+
+    def matches(self, vector: CandidateVector) -> Optional[PruningPattern]:
+        """Flat scan: first stored pattern matching ``vector``, if any."""
+        with self._lock:
+            snapshot = list(self._patterns)
+        for pattern in snapshot:
+            if pattern.matches(vector):
+                return pattern
+        return None
+
+
+class DfsMatcher:
+    """Incremental pattern matcher for position-ordered DFS enumeration.
+
+    The enumerator pushes digits in increasing position order and pops them
+    on backtrack.  Each stored pattern keeps a count of unsatisfied
+    constraints; a push of ``(position, action)`` decrements the count of
+    every pattern constraining exactly that pair.  A pattern *fires* when
+    its count reaches zero — which, because positions are pushed in order,
+    can only happen while pushing its maximum constrained position — and the
+    enumerator then skips the entire subtree.
+
+    Patterns may be added mid-walk via :meth:`integrate`, passing the digits
+    currently on the DFS path so the new pattern's counter reflects the
+    constraints that path already satisfies.  A pattern whose constraints
+    are already fully satisfied at integration time is tracked through the
+    ``matched_count`` invariant: the matcher maintains the number of
+    patterns with zero unsatisfied constraints, so :meth:`push` (and
+    :attr:`any_matched`) report a match regardless of *when* the pattern
+    completed.
+    """
+
+    def __init__(self, patterns: Iterable[PruningPattern] = ()) -> None:
+        self._patterns: List[PruningPattern] = []
+        self._remaining: List[int] = []
+        self._index: Dict[Tuple[int, int], List[int]] = {}
+        self._matched_count = 0
+        for pattern in patterns:
+            self._install(pattern, current_path=())
+
+    def _install(self, pattern: PruningPattern, current_path: Sequence[int]) -> None:
+        pattern_id = len(self._patterns)
+        satisfied = 0
+        for position, action in pattern.constraints:
+            if position < len(current_path) and current_path[position] == action:
+                satisfied += 1
+            self._index.setdefault((position, action), []).append(pattern_id)
+        self._patterns.append(pattern)
+        remaining = len(pattern.constraints) - satisfied
+        self._remaining.append(remaining)
+        if remaining == 0:
+            self._matched_count += 1
+
+    def integrate(self, patterns: Iterable[PruningPattern],
+                  current_path: Sequence[int]) -> None:
+        """Add patterns discovered mid-walk (own failures or other threads')."""
+        for pattern in patterns:
+            self._install(pattern, current_path)
+
+    @property
+    def any_matched(self) -> bool:
+        """True if some pattern is fully satisfied by the current DFS path."""
+        return self._matched_count > 0
+
+    def push(self, position: int, action: int) -> bool:
+        """Record digit ``action`` at ``position``; True if a pattern matches.
+
+        Returning True means the entire subtree below the current path is
+        inferred to fail (or, for success tables, to succeed) — the
+        enumerator should skip it.
+        """
+        remaining = self._remaining
+        for pattern_id in self._index.get((position, action), ()):
+            remaining[pattern_id] -= 1
+            if remaining[pattern_id] == 0:
+                self._matched_count += 1
+        return self._matched_count > 0
+
+    def pop(self, position: int, action: int) -> None:
+        """Undo the matching effect of the corresponding :meth:`push`."""
+        remaining = self._remaining
+        for pattern_id in self._index.get((position, action), ()):
+            if remaining[pattern_id] == 0:
+                self._matched_count -= 1
+            remaining[pattern_id] += 1
+
+    def fully_matched(self, path: Sequence[int]) -> bool:
+        """Non-incremental check of a complete path (used in tests)."""
+        for pattern, _remaining in zip(self._patterns, self._remaining):
+            if all(
+                position < len(path) and path[position] == action
+                for position, action in pattern.constraints
+            ):
+                return True
+        return False
+
+    @property
+    def pattern_count(self) -> int:
+        return len(self._patterns)

@@ -1,0 +1,124 @@
+"""Typed messages and network channels.
+
+:class:`UnorderedNetwork` is the interconnect model the paper's case study
+assumes ("all networks may be unordered"): a bag of in-flight messages.
+:class:`OrderedChannel` is a FIFO per (source, destination) pair — not used
+by the paper, but indispensable for experimenting with how much of the
+transient-state complexity is *caused* by unordered delivery (see the
+ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.mc.multiset import Multiset
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable network message."""
+
+    mtype: str
+    src: int
+    dst: int
+    payload: Any = None
+
+    def renamed(self, mapping: Tuple[int, ...]) -> "Message":
+        """Rename process indices (for symmetry reduction)."""
+        return Message(
+            self.mtype,
+            mapping[self.src] if self.src >= 0 else self.src,
+            mapping[self.dst] if self.dst >= 0 else self.dst,
+            self.payload,
+        )
+
+
+class UnorderedNetwork:
+    """An immutable bag of in-flight messages."""
+
+    __slots__ = ("_bag",)
+
+    def __init__(self, bag: Optional[Multiset] = None) -> None:
+        self._bag = bag if bag is not None else Multiset()
+
+    def send(self, message: Message) -> "UnorderedNetwork":
+        return UnorderedNetwork(self._bag.add(message))
+
+    def deliver(self, message: Message) -> "UnorderedNetwork":
+        """Remove one copy of ``message`` (it is being consumed)."""
+        return UnorderedNetwork(self._bag.remove(message))
+
+    def deliverable(self, dst: int, mtype: Optional[str] = None) -> Iterator[Message]:
+        """Messages currently deliverable to ``dst`` (optionally filtered)."""
+        for message in self._bag.distinct():
+            if message.dst != dst:
+                continue
+            if mtype is not None and message.mtype != mtype:
+                continue
+            yield message
+
+    def renamed(self, mapping: Tuple[int, ...]) -> "UnorderedNetwork":
+        return UnorderedNetwork(self._bag.map(lambda m: m.renamed(mapping)))
+
+    def __len__(self) -> int:
+        return len(self._bag)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._bag)
+
+    def __contains__(self, message: Message) -> bool:
+        return message in self._bag
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnorderedNetwork):
+            return NotImplemented
+        return self._bag == other._bag
+
+    def __hash__(self) -> int:
+        return hash(self._bag)
+
+    def __repr__(self) -> str:
+        return f"UnorderedNetwork({list(self._bag)!r})"
+
+
+class OrderedChannel:
+    """An immutable FIFO of messages (point-to-point ordered delivery)."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Tuple[Message, ...] = ()) -> None:
+        self._items = tuple(items)
+
+    def send(self, message: Message) -> "OrderedChannel":
+        return OrderedChannel(self._items + (message,))
+
+    @property
+    def head(self) -> Optional[Message]:
+        return self._items[0] if self._items else None
+
+    def deliver_head(self) -> "OrderedChannel":
+        if not self._items:
+            raise IndexError("channel is empty")
+        return OrderedChannel(self._items[1:])
+
+    def renamed(self, mapping: Tuple[int, ...]) -> "OrderedChannel":
+        return OrderedChannel(tuple(m.renamed(mapping) for m in self._items))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OrderedChannel):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        return f"OrderedChannel({list(self._items)!r})"

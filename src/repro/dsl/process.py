@@ -1,0 +1,59 @@
+"""Replicated process arrays.
+
+A :class:`ProcessArray` holds the local states of N symmetric processes and
+knows how to rename indices under a scalarset permutation.  It is the
+``procs`` component of DSL-built protocol states.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Tuple
+
+
+class ProcessArray:
+    """An immutable array of per-process local states."""
+
+    __slots__ = ("_states",)
+
+    def __init__(self, states: Tuple[Any, ...]) -> None:
+        self._states = tuple(states)
+
+    @classmethod
+    def uniform(cls, initial: Any, count: int) -> "ProcessArray":
+        if count < 1:
+            raise ValueError("a process array needs at least one process")
+        return cls((initial,) * count)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._states[index]
+
+    def set(self, index: int, value: Any) -> "ProcessArray":
+        states = list(self._states)
+        states[index] = value
+        return ProcessArray(tuple(states))
+
+    def renamed(self, mapping: Tuple[int, ...]) -> "ProcessArray":
+        states = list(self._states)
+        for old_index, value in enumerate(self._states):
+            states[mapping[old_index]] = value
+        return ProcessArray(tuple(states))
+
+    def count(self, value: Any) -> int:
+        return sum(1 for state in self._states if state == value)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._states)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProcessArray):
+            return NotImplemented
+        return self._states == other._states
+
+    def __hash__(self) -> int:
+        return hash(self._states)
+
+    def __repr__(self) -> str:
+        return f"ProcessArray({list(self._states)!r})"

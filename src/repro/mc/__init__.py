@@ -1,0 +1,43 @@
+"""Explicit-state model checking substrate (the paper's embedded checker).
+
+This subpackage implements the Murphi-like modelling and verification layer
+that VerC3 embeds: guarded-command transition systems over immutable states,
+breadth-first search that yields minimal error traces, scalarset symmetry
+reduction, and three-valued verdicts (SUCCESS / FAILURE / UNKNOWN) so the
+synthesis layer can reason about candidates containing wildcard holes.
+"""
+
+from repro.mc.bfs import BfsExplorer, ExplorationLimits
+from repro.mc.context import ExecutionContext, FixedResolver, NullResolver
+from repro.mc.dfs import DfsExplorer
+from repro.mc.multiset import Multiset
+from repro.mc.properties import CoverageProperty, DeadlockPolicy, Invariant
+from repro.mc.result import Verdict, VerificationResult
+from repro.mc.rule import Rule, RuleInstance, ruleset
+from repro.mc.symmetry import CanonicalizingSystem, Permuter, ScalarSet
+from repro.mc.system import TransitionSystem
+from repro.mc.trace import Trace, TraceStep
+
+__all__ = [
+    "BfsExplorer",
+    "CanonicalizingSystem",
+    "CoverageProperty",
+    "DeadlockPolicy",
+    "DfsExplorer",
+    "ExecutionContext",
+    "ExplorationLimits",
+    "FixedResolver",
+    "Invariant",
+    "Multiset",
+    "NullResolver",
+    "Permuter",
+    "Rule",
+    "RuleInstance",
+    "ScalarSet",
+    "Trace",
+    "TraceStep",
+    "TransitionSystem",
+    "Verdict",
+    "VerificationResult",
+    "ruleset",
+]

@@ -1,0 +1,132 @@
+"""An immutable, hashable multiset.
+
+Unordered interconnects are the reason coherence protocols need transient
+states (paper, Section III): messages in flight form a *bag*, not a queue.
+:class:`Multiset` models such a bag as a canonically sorted tuple of
+``(element, count)`` pairs, so two network states with the same messages in
+flight are equal and hash equal regardless of insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class Multiset:
+    """Immutable multiset with value semantics.
+
+    Elements must be hashable and mutually orderable after keying (we sort by
+    ``repr`` as a total-order fallback so heterogeneous elements still
+    canonicalise deterministically).
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        counts: Dict[T, int] = {}
+        for item in items:
+            counts[item] = counts.get(item, 0) + 1
+        self._items: Tuple[Tuple[T, int], ...] = tuple(
+            sorted(counts.items(), key=lambda pair: repr(pair[0]))
+        )
+        self._hash = hash(self._items)
+
+    @classmethod
+    def _from_sorted(cls, items: Tuple[Tuple[T, int], ...]) -> "Multiset":
+        new = cls.__new__(cls)
+        new._items = items
+        new._hash = hash(items)
+        return new
+
+    def add(self, item: T, count: int = 1) -> "Multiset":
+        """Return a new multiset with ``count`` copies of ``item`` added."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return self
+        counts = dict(self._items)
+        counts[item] = counts.get(item, 0) + count
+        return Multiset._from_sorted(
+            tuple(sorted(counts.items(), key=lambda pair: repr(pair[0])))
+        )
+
+    def remove(self, item: T, count: int = 1) -> "Multiset":
+        """Return a new multiset with ``count`` copies of ``item`` removed.
+
+        Raises :class:`KeyError` if fewer than ``count`` copies are present.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return self
+        counts = dict(self._items)
+        have = counts.get(item, 0)
+        if have < count:
+            raise KeyError(f"cannot remove {count} x {item!r}: only {have} present")
+        if have == count:
+            del counts[item]
+        else:
+            counts[item] = have - count
+        return Multiset._from_sorted(
+            tuple(sorted(counts.items(), key=lambda pair: repr(pair[0])))
+        )
+
+    def count(self, item: T) -> int:
+        for element, count in self._items:
+            if element == item:
+                return count
+        return 0
+
+    def distinct(self) -> Iterator[T]:
+        """Iterate over distinct elements (canonical order)."""
+        for element, _count in self._items:
+            yield element
+
+    def items(self) -> Iterator[Tuple[T, int]]:
+        return iter(self._items)
+
+    def map(self, fn) -> "Multiset":
+        """Return a new multiset with ``fn`` applied to each element.
+
+        Used by symmetry reduction to rename process indices inside
+        in-flight messages.
+        """
+        return Multiset(
+            element for item, count in self._items for element in [fn(item)] * count
+        )
+
+    def filter(self, predicate) -> "Multiset":
+        return Multiset(
+            item for item, count in self._items for _ in range(count) if predicate(item)
+        )
+
+    def __contains__(self, item: object) -> bool:
+        return self.count(item) > 0  # type: ignore[arg-type]
+
+    def __len__(self) -> int:
+        return sum(count for _item, count in self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        for item, count in self._items:
+            for _ in range(count):
+                yield item
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{item!r}" + (f" x{count}" if count > 1 else "")
+            for item, count in self._items
+        )
+        return f"Multiset({{{inner}}})"

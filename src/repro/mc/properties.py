@@ -1,0 +1,103 @@
+"""Correctness properties checked by the explorer.
+
+Three property classes cover what the paper's case study needs:
+
+* :class:`Invariant` — a predicate that must hold in *every* reachable
+  state (e.g. the Single-Writer-Multiple-Reader invariant).  Violations
+  yield a minimal error trace.
+* :class:`DeadlockPolicy` — whether states with no outgoing transitions are
+  failures.  A ``quiescent`` predicate whitelists states that are allowed to
+  be terminal.
+* :class:`CoverageProperty` — a predicate that must hold in *some* reachable
+  state.  The paper added "all stable states must be visited at least once"
+  after discovering that without it the synthesiser produced degenerate
+  protocols (e.g. a cache that immediately drops fetched data).  Coverage is
+  evaluated after exploration completes; it can only *fail* a candidate when
+  the exploration was complete and wildcard-free.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+from repro.errors import ModelError
+
+Predicate = Callable[[Any], bool]
+
+
+class Invariant:
+    """A named per-state safety predicate (must hold in every state)."""
+
+    __slots__ = ("name", "predicate")
+
+    def __init__(self, name: str, predicate: Predicate) -> None:
+        if not name:
+            raise ModelError("invariant name must be non-empty")
+        self.name = name
+        self.predicate = predicate
+
+    def holds(self, state: Any) -> bool:
+        return bool(self.predicate(state))
+
+    def __repr__(self) -> str:
+        return f"Invariant({self.name!r})"
+
+
+class CoverageProperty:
+    """A named existential reachability predicate (must hold in some state)."""
+
+    __slots__ = ("name", "predicate")
+
+    def __init__(self, name: str, predicate: Predicate) -> None:
+        if not name:
+            raise ModelError("coverage property name must be non-empty")
+        self.name = name
+        self.predicate = predicate
+
+    def satisfied_by(self, state: Any) -> bool:
+        return bool(self.predicate(state))
+
+    def __repr__(self) -> str:
+        return f"CoverageProperty({self.name!r})"
+
+
+class DeadlockMode(enum.Enum):
+    FAIL = "fail"
+    ALLOW = "allow"
+
+
+class DeadlockPolicy:
+    """Policy for states with no successors.
+
+    ``DeadlockPolicy.fail()`` treats any terminal state as a failure unless
+    the optional ``quiescent`` predicate accepts it; ``DeadlockPolicy.allow()``
+    never reports deadlocks.  States whose expansion was wildcard-cut are
+    never reported as deadlocks: the cut branch could have provided the
+    missing transition.
+    """
+
+    __slots__ = ("mode", "quiescent")
+
+    def __init__(self, mode: DeadlockMode, quiescent: Predicate = None) -> None:
+        self.mode = mode
+        self.quiescent = quiescent
+
+    @classmethod
+    def fail(cls, quiescent: Predicate = None) -> "DeadlockPolicy":
+        return cls(DeadlockMode.FAIL, quiescent)
+
+    @classmethod
+    def allow(cls) -> "DeadlockPolicy":
+        return cls(DeadlockMode.ALLOW)
+
+    def is_deadlock(self, state: Any) -> bool:
+        """Classify a terminal (no-successor, no-wildcard-cut) state."""
+        if self.mode is DeadlockMode.ALLOW:
+            return False
+        if self.quiescent is not None and self.quiescent(state):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"DeadlockPolicy({self.mode.value})"

@@ -1,0 +1,118 @@
+"""Verification verdicts, failure kinds, and run statistics.
+
+The paper's model checker returns one of three results: "success",
+"failure", or "unknown" (Section II).  UNKNOWN arises when wildcard holes
+were encountered but no failure was found — the candidate's behaviour beyond
+the wildcard frontier is undetermined.  We add an explicit *failure kind* so
+the synthesis layer can decide whether a failure yields a sound pruning
+pattern (see :mod:`repro.core.pruning`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Tuple
+
+from repro.mc.trace import Trace
+
+
+class Verdict(enum.Enum):
+    """Three-valued outcome of a model-checker run."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"
+    UNKNOWN = "unknown"
+
+
+class FailureKind(enum.Enum):
+    """Why a run failed.
+
+    INVARIANT and DEADLOCK failures come with a minimal trace and are always
+    sound pruning patterns.  COVERAGE failures (an "all stable states must be
+    visited" style property was never satisfied) are only reported as
+    failures when the exploration was complete and wildcard-free; otherwise
+    the verdict is UNKNOWN.
+    """
+
+    INVARIANT = "invariant"
+    DEADLOCK = "deadlock"
+    COVERAGE = "coverage"
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Statistics of one exploration."""
+
+    states_visited: int = 0
+    transitions_fired: int = 0
+    rules_attempted: int = 0
+    wildcard_cuts: int = 0
+    max_depth: int = 0
+    truncated: bool = False
+
+    def merged_with(self, other: "RunStats") -> "RunStats":
+        return RunStats(
+            states_visited=self.states_visited + other.states_visited,
+            transitions_fired=self.transitions_fired + other.transitions_fired,
+            rules_attempted=self.rules_attempted + other.rules_attempted,
+            wildcard_cuts=self.wildcard_cuts + other.wildcard_cuts,
+            max_depth=max(self.max_depth, other.max_depth),
+            truncated=self.truncated or other.truncated,
+        )
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of one model-checker run.
+
+    Attributes:
+        verdict: SUCCESS, FAILURE, or UNKNOWN.
+        failure_kind: populated iff verdict is FAILURE.
+        message: human-readable explanation (property name, etc.).
+        trace: minimal error trace for INVARIANT/DEADLOCK failures.
+        stats: exploration statistics.
+        wildcard_encountered: whether any wildcard cut occurred.
+        executed_holes: all holes resolved (non-wildcard) during the run.
+        failure_holes: holes relevant to the failure — for INVARIANT and
+            DEADLOCK, those executed on the minimal error path (plus, for
+            deadlocks, during firings attempted at the final state); for
+            COVERAGE, every hole executed in the run.  Only populated when
+            the explorer was asked to track hole paths; the refined pruning
+            mode uses it.
+        unmet_coverage: names of coverage properties never satisfied.
+    """
+
+    verdict: Verdict
+    failure_kind: Optional[FailureKind] = None
+    message: str = ""
+    trace: Optional[Trace] = None
+    stats: RunStats = field(default_factory=RunStats)
+    wildcard_encountered: bool = False
+    executed_holes: FrozenSet[Any] = frozenset()
+    failure_holes: Optional[FrozenSet[Any]] = None
+    unmet_coverage: Tuple[str, ...] = ()
+
+    @property
+    def is_success(self) -> bool:
+        return self.verdict is Verdict.SUCCESS
+
+    @property
+    def is_failure(self) -> bool:
+        return self.verdict is Verdict.FAILURE
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.verdict is Verdict.UNKNOWN
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [self.verdict.value]
+        if self.failure_kind is not None:
+            parts.append(self.failure_kind.value)
+        if self.message:
+            parts.append(self.message)
+        parts.append(f"states={self.stats.states_visited}")
+        if self.wildcard_encountered:
+            parts.append("wildcards=yes")
+        return " | ".join(parts)

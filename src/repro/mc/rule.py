@@ -1,0 +1,104 @@
+"""Guarded-command transition rules.
+
+A :class:`Rule` is a named guarded command: ``guard(state)`` decides whether
+the rule is enabled, ``apply(state, ctx)`` yields successor states.  Rule
+bodies receive an :class:`~repro.mc.context.ExecutionContext` through which
+they resolve synthesis holes; complete (hole-free) systems simply ignore it.
+
+:func:`ruleset` expands a parameterised rule over a finite parameter domain
+(typically the indices of a scalarset of replicated processes), mirroring
+Murphi's ``ruleset`` construct.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, List, Mapping, Sequence
+
+from repro.errors import ModelError
+
+GuardFn = Callable[[Any], bool]
+ApplyFn = Callable[..., Iterable[Any]]
+
+
+class Rule:
+    """A single (fully instantiated) guarded command."""
+
+    __slots__ = ("name", "guard", "apply", "params")
+
+    def __init__(
+        self,
+        name: str,
+        guard: GuardFn,
+        apply: Callable[[Any, Any], Iterable[Any]],
+        params: Mapping[str, Any] = None,
+    ) -> None:
+        if not name:
+            raise ModelError("rule name must be non-empty")
+        self.name = name
+        self.guard = guard
+        self.apply = apply
+        self.params = dict(params or {})
+
+    def fire(self, state: Any, ctx: Any) -> List[Any]:
+        """Return the successors of ``state`` under this rule (may be empty).
+
+        The caller is expected to have checked :attr:`guard` already; calling
+        ``fire`` on a disabled rule is a modelling error.
+        """
+        return list(self.apply(state, ctx))
+
+    def __repr__(self) -> str:
+        if self.params:
+            inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+            return f"Rule({self.name!r}, {inner})"
+        return f"Rule({self.name!r})"
+
+
+#: Alias kept for API clarity: an element of ``TransitionSystem.rules``.
+RuleInstance = Rule
+
+
+def ruleset(
+    name: str,
+    parameters: Mapping[str, Sequence[Any]],
+    guard: Callable[..., bool],
+    apply: Callable[..., Iterable[Any]],
+) -> List[Rule]:
+    """Expand a parameterised rule over the product of parameter domains.
+
+    ``guard`` and ``apply`` are called as ``guard(state, **binding)`` and
+    ``apply(state, ctx, **binding)``.  The expansion order is deterministic
+    (parameters sorted by name, domains in given order) so exploration and
+    hole discovery order are reproducible.
+
+    >>> rules = ruleset(
+    ...     "inc", {"i": [0, 1]},
+    ...     guard=lambda s, i: True,
+    ...     apply=lambda s, ctx, i: [s + i],
+    ... )
+    >>> [r.name for r in rules]
+    ['inc[i=0]', 'inc[i=1]']
+    """
+    if not parameters:
+        raise ModelError("ruleset requires at least one parameter; use Rule directly")
+    names = sorted(parameters)
+    domains = [list(parameters[param]) for param in names]
+    for param, domain in zip(names, domains):
+        if not domain:
+            raise ModelError(f"ruleset parameter {param!r} has an empty domain")
+    rules: List[Rule] = []
+    for values in itertools.product(*domains):
+        binding = dict(zip(names, values))
+        label = ",".join(f"{param}={value}" for param, value in binding.items())
+
+        def make(bound: Mapping[str, Any]) -> Rule:
+            return Rule(
+                name=f"{name}[{label}]",
+                guard=lambda state, _b=bound: guard(state, **_b),
+                apply=lambda state, ctx, _b=bound: apply(state, ctx, **_b),
+                params=bound,
+            )
+
+        rules.append(make(binding))
+    return rules

@@ -1,0 +1,106 @@
+"""State values for explicit-state exploration.
+
+States must be immutable, hashable values: the explorer deduplicates states
+in a hash set, and symmetry reduction replaces a state with the minimum of
+its permutation orbit, which requires a total order on serialised states.
+
+Any hashable value works as a state (tuples are idiomatic and fast).  For
+structured protocol states this module provides :class:`Record`, a tiny
+frozen attribute container with functional update, and :func:`state_key`, a
+deterministic serialisation used for canonical ordering and fingerprinting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.mc.multiset import Multiset
+
+
+class Record:
+    """A frozen, hashable record with functional update.
+
+    >>> r = Record(x=1, y="a")
+    >>> r2 = r.update(x=2)
+    >>> (r.x, r2.x, r2.y)
+    (1, 2, 'a')
+
+    Fields are fixed at construction; :meth:`update` rejects unknown names so
+    that typos in rule bodies fail loudly instead of silently growing state.
+    """
+
+    __slots__ = ("_fields", "_hash")
+
+    def __init__(self, **fields: Any) -> None:
+        object.__setattr__(self, "_fields", tuple(sorted(fields.items())))
+        object.__setattr__(self, "_hash", hash(self._fields))
+
+    def update(self, **changes: Any) -> "Record":
+        current: Dict[str, Any] = dict(self._fields)
+        for name in changes:
+            if name not in current:
+                raise AttributeError(f"Record has no field {name!r}")
+        current.update(changes)
+        return Record(**current)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self._fields)
+
+    def __getattr__(self, name: str) -> Any:
+        for field, value in object.__getattribute__(self, "_fields"):
+            if field == name:
+                return value
+        raise AttributeError(f"Record has no field {name!r}")
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Record is immutable; use .update(...)")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __iter__(self) -> Iterator[Tuple[str, Any]]:
+        return iter(self._fields)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value!r}" for name, value in self._fields)
+        return f"Record({inner})"
+
+
+def state_key(state: Any) -> Tuple[Any, ...]:
+    """Serialise a state into a nested tuple with a deterministic total order.
+
+    The result contains only strings, ints, and nested tuples, so any two
+    serialised states compare with ``<`` without type errors.  Used to pick
+    the canonical representative of a symmetry orbit.
+    """
+    return _serialise(state)
+
+
+def _serialise(value: Any) -> Any:
+    if isinstance(value, Record):
+        return ("record",) + tuple(
+            (name, _serialise(field)) for name, field in value
+        )
+    if isinstance(value, Multiset):
+        return ("multiset",) + tuple(
+            (_serialise(item), count) for item, count in value.items()
+        )
+    if isinstance(value, tuple):
+        return ("tuple",) + tuple(_serialise(item) for item in value)
+    if isinstance(value, frozenset):
+        return ("frozenset",) + tuple(sorted((repr(v), _serialise(v)) for v in value))
+    if isinstance(value, bool):
+        return ("bool", int(value))
+    if isinstance(value, int):
+        return ("int", value)
+    if isinstance(value, str):
+        return ("str", value)
+    if value is None:
+        return ("none",)
+    # Fallback: rely on repr for exotic-but-hashable values.
+    return ("repr", repr(value))

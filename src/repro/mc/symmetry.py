@@ -1,0 +1,111 @@
+"""Scalarset symmetry reduction (Ip & Dill style).
+
+Replicated processes (e.g. the cache controllers in the MSI case study) are
+interchangeable: any permutation of their indices maps reachable states to
+reachable states.  Exploring one representative per permutation orbit shrinks
+the state space by up to ``n!`` for ``n`` replicas.  The paper stresses that
+realising symmetry reduction is *straightforward* in an explicit-state tool
+(unlike symbolic ones) — and indeed this module is small.
+
+The user supplies a ``permute(state, mapping)`` function that renames every
+occurrence of a scalarset index inside a state according to ``mapping``
+(a tuple where ``mapping[old] == new``).  :class:`Permuter` then
+canonicalises a state to the minimum of its orbit under a deterministic
+serialisation order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.mc.state import state_key
+from repro.mc.system import TransitionSystem
+
+PermuteFn = Callable[[Any, Tuple[int, ...]], Any]
+
+
+class ScalarSet:
+    """A named finite index set whose elements are interchangeable."""
+
+    __slots__ = ("name", "size")
+
+    def __init__(self, name: str, size: int) -> None:
+        if size <= 0:
+            raise ModelError(f"scalarset {name!r} must have positive size")
+        self.name = name
+        self.size = size
+
+    def indices(self) -> range:
+        return range(self.size)
+
+    def permutations(self) -> List[Tuple[int, ...]]:
+        """All permutation mappings of this scalarset (identity first)."""
+        return sorted(itertools.permutations(range(self.size)))
+
+    def __repr__(self) -> str:
+        return f"ScalarSet({self.name!r}, size={self.size})"
+
+
+class Permuter:
+    """Canonicalises states to the lexicographically-minimal orbit member.
+
+    For multiple scalarsets, supply one ``permute`` function that accepts a
+    mapping per scalarset: ``permute(state, mappings)`` where ``mappings`` is
+    a tuple aligned with ``scalarsets``.  For the common single-scalarset
+    case, use :meth:`for_single` which adapts a one-mapping function.
+    """
+
+    def __init__(
+        self,
+        scalarsets: Sequence[ScalarSet],
+        permute: Callable[[Any, Tuple[Tuple[int, ...], ...]], Any],
+    ) -> None:
+        if not scalarsets:
+            raise ModelError("Permuter requires at least one scalarset")
+        self.scalarsets = list(scalarsets)
+        self._permute = permute
+        self._mappings: List[Tuple[Tuple[int, ...], ...]] = [
+            combo
+            for combo in itertools.product(
+                *(s.permutations() for s in self.scalarsets)
+            )
+        ]
+
+    @classmethod
+    def for_single(cls, scalarset: ScalarSet, permute: PermuteFn) -> "Permuter":
+        """Adapt a single-scalarset permute function."""
+        return cls(
+            [scalarset],
+            lambda state, mappings: permute(state, mappings[0]),
+        )
+
+    @property
+    def orbit_size(self) -> int:
+        return len(self._mappings)
+
+    def orbit(self, state: Any) -> List[Any]:
+        """All images of ``state`` under the permutation group (with dups)."""
+        return [self._permute(state, mappings) for mappings in self._mappings]
+
+    def canonicalize(self, state: Any) -> Any:
+        """Return the orbit member with the minimal serialised form."""
+        best = state
+        best_key = state_key(state)
+        for mappings in self._mappings[1:]:  # mappings[0] is the identity
+            candidate = self._permute(state, mappings)
+            candidate_key = state_key(candidate)
+            if candidate_key < best_key:
+                best = candidate
+                best_key = candidate_key
+        return best
+
+
+def CanonicalizingSystem(system: TransitionSystem, permuter: Permuter) -> TransitionSystem:
+    """Return a copy of ``system`` that canonicalises via ``permuter``.
+
+    Named like a class because it constructs a system; kept a function so the
+    result is a plain :class:`TransitionSystem`.
+    """
+    return system.with_canonicalizer(permuter.canonicalize)

@@ -1,0 +1,89 @@
+"""Transition system definitions.
+
+A :class:`TransitionSystem` bundles everything the explorer needs: initial
+states, guarded-command rules, properties, a deadlock policy, and an optional
+canonicalisation function (supplied by :mod:`repro.mc.symmetry` when symmetry
+reduction is enabled).  The expressiveness matches what the paper describes:
+"any guarded-command style finite-state transition system (similar in
+expressiveness to Murphi)".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.errors import ModelError
+from repro.mc.properties import CoverageProperty, DeadlockPolicy, Invariant
+from repro.mc.rule import Rule
+
+Canonicalizer = Callable[[Any], Any]
+
+
+class TransitionSystem:
+    """A guarded-command transition system with properties.
+
+    Args:
+        name: human-readable system name (appears in reports).
+        initial_states: the (non-empty) collection of initial states, or a
+            zero-argument callable producing it.
+        rules: the guarded-command rules; order is significant because hole
+            discovery order follows rule order.
+        invariants: per-state safety predicates.
+        coverage: existential reachability predicates.
+        deadlock: policy for terminal states (default: fail on deadlock, the
+            appropriate default for protocols).
+        canonicalize: maps a state to its symmetry-orbit representative;
+            identity when symmetry reduction is off.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        initial_states: Any,
+        rules: Sequence[Rule],
+        invariants: Sequence[Invariant] = (),
+        coverage: Sequence[CoverageProperty] = (),
+        deadlock: Optional[DeadlockPolicy] = None,
+        canonicalize: Optional[Canonicalizer] = None,
+    ) -> None:
+        if not name:
+            raise ModelError("system name must be non-empty")
+        if not rules:
+            raise ModelError("a transition system needs at least one rule")
+        self.name = name
+        self._initial_states = initial_states
+        self.rules: List[Rule] = list(rules)
+        self.invariants: List[Invariant] = list(invariants)
+        self.coverage: List[CoverageProperty] = list(coverage)
+        self.deadlock = deadlock if deadlock is not None else DeadlockPolicy.fail()
+        self.canonicalize: Canonicalizer = canonicalize or (lambda state: state)
+        seen = set()
+        for rule in self.rules:
+            if rule.name in seen:
+                raise ModelError(f"duplicate rule name {rule.name!r}")
+            seen.add(rule.name)
+
+    def initial_states(self) -> List[Any]:
+        states = self._initial_states() if callable(self._initial_states) else self._initial_states
+        states = list(states)
+        if not states:
+            raise ModelError(f"system {self.name!r} has no initial states")
+        return states
+
+    def with_canonicalizer(self, canonicalize: Canonicalizer) -> "TransitionSystem":
+        """Return a copy of this system using the given canonicalizer."""
+        return TransitionSystem(
+            name=self.name,
+            initial_states=self._initial_states,
+            rules=self.rules,
+            invariants=self.invariants,
+            coverage=self.coverage,
+            deadlock=self.deadlock,
+            canonicalize=canonicalize,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitionSystem({self.name!r}, rules={len(self.rules)}, "
+            f"invariants={len(self.invariants)}, coverage={len(self.coverage)})"
+        )

@@ -1,0 +1,8 @@
+"""Case-study protocols.
+
+* :mod:`repro.protocols.toy` — the worked example of the paper's Figure 2.
+* :mod:`repro.protocols.msi` — the directory-based MSI coherence protocol of
+  the paper's evaluation (Figure 3 / Table I).
+* :mod:`repro.protocols.vi` — a minimal VI coherence protocol.
+* :mod:`repro.protocols.mutex` — a token-passing mutual exclusion protocol.
+"""

@@ -1,0 +1,153 @@
+"""Central-server mutual exclusion, built with the DSL.
+
+Clients request a lock from a server; the server grants it to one client at
+a time.  Small enough to read in one sitting, which makes it the quickstart
+example for hole synthesis: we blank out the client's "grant received" rule
+and let the engine rediscover that the correct completion is "enter the
+critical section, send nothing".
+
+Client states: ``T`` (thinking), ``W`` (waiting), ``C`` (critical).
+Messages: ``Req`` (client->server), ``Grant`` (server->client),
+``Rel`` (client->server).
+
+Properties: at most one client in ``C`` (mutual exclusion); the server's
+holder bookkeeping matches reality; some client eventually enters ``C``
+(coverage — without it "never enter the critical section" would verify).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.action import Action
+from repro.core.hole import Hole
+from repro.dsl.builder import GLOBAL, ControllerSpec, ProtocolBuilder, StateView
+from repro.mc.properties import DeadlockPolicy
+from repro.mc.state import Record
+from repro.mc.system import TransitionSystem
+
+T, W, C = "T", "W", "C"
+REQ, GRANT, REL = "Req", "Grant", "Rel"
+
+
+def _initial_glob() -> Record:
+    return Record(holder=-1)
+
+
+def _rename_glob(glob: Record, mapping: Tuple[int, ...]) -> Record:
+    return Record(holder=-1 if glob.holder < 0 else mapping[glob.holder])
+
+
+# -- handlers -------------------------------------------------------------------
+
+
+def _client_want(view: StateView, proc: int, ctx, message) -> None:
+    view.send(REQ, proc, GLOBAL)
+    view.become(proc, W)
+
+
+def _client_grant_reference(view: StateView, proc: int, ctx, message) -> None:
+    view.become(proc, C)
+
+
+def _client_done(view: StateView, proc: int, ctx, message) -> None:
+    view.send(REL, proc, GLOBAL)
+    view.become(proc, T)
+
+
+def _server_req(view: StateView, proc: int, ctx, message) -> None:
+    view.send(GRANT, GLOBAL, message.src)
+    view.glob = view.glob.update(holder=message.src)
+
+
+def _server_rel(view: StateView, proc: int, ctx, message) -> None:
+    view.glob = view.glob.update(holder=-1)
+
+
+# -- holes -----------------------------------------------------------------------
+
+
+def client_grant_holes() -> Tuple[Hole, Hole]:
+    response = Hole(
+        "mutex.client.W+Grant.response",
+        [
+            Action("none", fn=lambda view, proc: None),
+            Action("send_req", fn=lambda view, proc: view.send(REQ, proc, GLOBAL)),
+            Action("send_rel", fn=lambda view, proc: view.send(REL, proc, GLOBAL)),
+        ],
+    )
+    next_state = Hole(
+        "mutex.client.W+Grant.next",
+        [Action(f"goto_{s}", payload=s) for s in (T, W, C)],
+    )
+    return response, next_state
+
+
+REFERENCE_ASSIGNMENT: Dict[str, str] = {
+    "mutex.client.W+Grant.response": "none",
+    "mutex.client.W+Grant.next": "goto_C",
+}
+
+
+# -- properties -------------------------------------------------------------------
+
+
+def _mutual_exclusion(state) -> bool:
+    return state[0].count(C) <= 1
+
+
+def _holder_consistent(state) -> bool:
+    procs, glob, _net = state
+    for index, local in enumerate(procs):
+        if local == C and glob.holder != index:
+            return False
+    return True
+
+
+def _build(n_clients: int, grant_handler, name: str,
+           symmetry: bool = True) -> TransitionSystem:
+    client = ControllerSpec("client")
+    client.on(T, "want", _client_want, spontaneous=True)
+    client.on(W, GRANT, grant_handler)
+    client.on(C, "done", _client_done, spontaneous=True)
+
+    server = ControllerSpec("server", replicated=False)
+    server.on(lambda g: g.holder < 0, REQ, _server_req)
+    server.on(lambda g: g.holder >= 0, REL, _server_rel)
+
+    builder = ProtocolBuilder(
+        name, n_clients, initial_local=T, initial_global=_initial_glob(),
+        symmetry=symmetry,
+    )
+    builder.add_controller(client)
+    builder.add_controller(server)
+    builder.set_global_rename(_rename_glob)
+    builder.add_invariant("mutual-exclusion", _mutual_exclusion)
+    builder.add_invariant("holder-consistent", _holder_consistent)
+    # Finite interconnect capacity (see the VI protocol for rationale).
+    bound = 2 * n_clients + 2
+    builder.add_invariant("network-bounded", lambda s, _b=bound: len(s[2]) <= _b)
+    builder.add_coverage("some-client-critical", lambda s: s[0].count(C) >= 1)
+    # Clients in T can always issue requests, so no reachable state is
+    # terminal; keep the default fail policy as a tripwire.
+    builder.set_deadlock_policy(DeadlockPolicy.fail())
+    return builder.build()
+
+
+def build_mutex_system(n_clients: int = 2, symmetry: bool = True) -> TransitionSystem:
+    """The complete mutual-exclusion protocol."""
+    return _build(n_clients, _client_grant_reference, "mutex", symmetry)
+
+
+def build_mutex_skeleton(
+    n_clients: int = 2, symmetry: bool = True
+) -> Tuple[TransitionSystem, List[Hole]]:
+    """The protocol with the client's W+Grant rule blanked out."""
+    response, next_state = client_grant_holes()
+
+    def grant_handler(view, proc, ctx, message):
+        ctx.resolve(response).fn(view, proc)
+        view.become(proc, ctx.resolve(next_state).payload)
+
+    system = _build(n_clients, grant_handler, "mutex-skeleton", symmetry)
+    return system, [response, next_state]

@@ -1,0 +1,251 @@
+"""A VI (Valid/Invalid) migratory coherence protocol, built with the DSL.
+
+The simplest interesting coherence protocol: a single token of validity
+migrates between clients through a directory.  Because the network is
+unordered, the directory serialises hand-offs through two transient states
+(``BUSY_GRANT``: data sent, waiting for the receiver's acknowledgement —
+the same serialisation idea as the MSI case study's ``IM_A``; and
+``BUSY_RECALL``: recall sent to the current owner, waiting for the data to
+come back).
+
+Client states: ``I`` (invalid), ``IV_D`` (fetch outstanding), ``V`` (valid).
+Messages: ``Get`` (client->dir), ``Data`` (dir->client), ``GotIt``
+(client->dir ack), ``Recall`` (dir->owner), ``Back`` (owner->dir).
+
+Holeable rules (used by the VI synthesis example):
+
+* client ``IV_D + Data`` — response in {none, send_gotit, send_back},
+  next state in {I, IV_D, V};
+* dir ``BUSY_GRANT + GotIt`` — response in {none, send_data, send_recall},
+  next state in {FREE, BUSY_GRANT, OWNED, BUSY_RECALL}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.action import Action
+from repro.core.hole import Hole
+from repro.dsl.builder import GLOBAL, ControllerSpec, ProtocolBuilder, StateView
+from repro.mc.properties import DeadlockPolicy
+from repro.mc.state import Record
+from repro.mc.system import TransitionSystem
+
+# client states
+I, IV_D, V = "I", "IV_D", "V"
+# directory states
+FREE, BUSY_GRANT, OWNED, BUSY_RECALL = "FREE", "BUSY_GRANT", "OWNED", "BUSY_RECALL"
+# messages
+GET, DATA, GOTIT, RECALL, BACK = "Get", "Data", "GotIt", "Recall", "Back"
+
+
+def _initial_glob() -> Record:
+    return Record(st=FREE, owner=-1, req=-1)
+
+
+def _rename_glob(glob: Record, mapping: Tuple[int, ...]) -> Record:
+    return Record(
+        st=glob.st,
+        owner=-1 if glob.owner < 0 else mapping[glob.owner],
+        req=-1 if glob.req < 0 else mapping[glob.req],
+    )
+
+
+# -- client handlers -----------------------------------------------------------
+
+
+def _client_use(view: StateView, proc: int, ctx, message) -> None:
+    view.send(GET, proc, GLOBAL)
+    view.become(proc, IV_D)
+
+
+def _client_data_reference(view: StateView, proc: int, ctx, message) -> None:
+    view.send(GOTIT, proc, GLOBAL)
+    view.become(proc, V)
+
+
+def _client_recall(view: StateView, proc: int, ctx, message) -> None:
+    view.send(BACK, proc, GLOBAL)
+    view.become(proc, I)
+
+
+# -- directory handlers -----------------------------------------------------------
+
+
+def _dir_get(view: StateView, proc: int, ctx, message) -> None:
+    glob = view.glob
+    if glob.st == FREE:
+        view.send(DATA, GLOBAL, message.src)
+        view.glob = glob.update(st=BUSY_GRANT, req=message.src)
+    else:  # OWNED
+        view.send(RECALL, GLOBAL, glob.owner)
+        view.glob = glob.update(st=BUSY_RECALL, req=message.src)
+
+
+def _dir_gotit_reference(view: StateView, proc: int, ctx, message) -> None:
+    view.glob = view.glob.update(st=OWNED, owner=view.glob.req, req=-1)
+
+
+def _dir_back(view: StateView, proc: int, ctx, message) -> None:
+    view.send(DATA, GLOBAL, view.glob.req)
+    view.glob = view.glob.update(st=BUSY_GRANT, owner=-1)
+
+
+# -- hole-driven handlers ------------------------------------------------------------
+
+
+def client_data_holes() -> Tuple[Hole, Hole]:
+    response = Hole(
+        "vi.client.IV_D+Data.response",
+        [
+            Action("none", fn=lambda view, proc: None),
+            Action("send_gotit", fn=lambda view, proc: view.send(GOTIT, proc, GLOBAL)),
+            Action("send_back", fn=lambda view, proc: view.send(BACK, proc, GLOBAL)),
+        ],
+    )
+    next_state = Hole(
+        "vi.client.IV_D+Data.next",
+        [Action(f"goto_{s}", payload=s) for s in (I, IV_D, V)],
+    )
+    return response, next_state
+
+
+def dir_gotit_holes() -> Tuple[Hole, Hole]:
+    def send_data(view: StateView, proc: int) -> None:
+        if view.glob.req >= 0:
+            view.send(DATA, GLOBAL, view.glob.req)
+
+    def send_recall(view: StateView, proc: int) -> None:
+        if view.glob.owner >= 0:
+            view.send(RECALL, GLOBAL, view.glob.owner)
+
+    response = Hole(
+        "vi.dir.BUSY_GRANT+GotIt.response",
+        [
+            Action("none", fn=lambda view, proc: None),
+            Action("send_data", fn=send_data),
+            Action("send_recall", fn=send_recall),
+        ],
+    )
+    next_state = Hole(
+        "vi.dir.BUSY_GRANT+GotIt.next",
+        [
+            Action(f"goto_{s}", payload=s)
+            for s in (FREE, BUSY_GRANT, OWNED, BUSY_RECALL)
+        ],
+    )
+    return response, next_state
+
+
+#: reference action names for each holeable rule
+REFERENCE_ASSIGNMENT: Dict[str, str] = {
+    "vi.client.IV_D+Data.response": "send_gotit",
+    "vi.client.IV_D+Data.next": "goto_V",
+    "vi.dir.BUSY_GRANT+GotIt.response": "none",
+    "vi.dir.BUSY_GRANT+GotIt.next": "goto_OWNED",
+}
+
+
+# -- properties ----------------------------------------------------------------------
+
+
+def _single_valid(state) -> bool:
+    procs, _glob, _net = state
+    return procs.count(V) <= 1
+
+
+def _owner_consistent(state) -> bool:
+    _procs, glob, _net = state
+    if glob.st == OWNED and glob.owner < 0:
+        return False
+    if glob.st in (BUSY_GRANT, BUSY_RECALL) and glob.req < 0:
+        return False
+    return True
+
+
+def _quiescent(state) -> bool:
+    procs, glob, net = state
+    if len(net):
+        return False
+    return glob.st in (FREE, OWNED) and all(p in (I, V) for p in procs)
+
+
+def _build(
+    n_clients: int,
+    client_data_handler,
+    dir_gotit_handler,
+    name: str,
+    symmetry: bool = True,
+) -> TransitionSystem:
+    client = ControllerSpec("client")
+    client.on(I, "use", _client_use, spontaneous=True)
+    client.on(IV_D, DATA, client_data_handler)
+    client.on(V, RECALL, _client_recall)
+
+    directory = ControllerSpec("dir", replicated=False)
+    directory.on(lambda st: st.st in (FREE, OWNED), GET, _dir_get)
+    directory.on(lambda st: st.st == BUSY_GRANT, GOTIT, dir_gotit_handler)
+    directory.on(lambda st: st.st == BUSY_RECALL, BACK, _dir_back)
+
+    builder = ProtocolBuilder(
+        name, n_clients, initial_local=I, initial_global=_initial_glob(),
+        symmetry=symmetry,
+    )
+    builder.add_controller(client)
+    builder.add_controller(directory)
+    builder.set_global_rename(_rename_glob)
+    builder.add_invariant("single-valid", _single_valid)
+    builder.add_invariant("dir-consistent", _owner_consistent)
+    # Finite interconnect capacity: keeps every synthesis candidate's state
+    # space finite (a faulty completion could otherwise re-request forever).
+    bound = 2 * n_clients + 2
+    builder.add_invariant("network-bounded", lambda s, _b=bound: len(s[2]) <= _b)
+    builder.add_coverage("some-client-valid", lambda s: s[0].count(V) >= 1)
+    if n_clients >= 2:
+        # A recall needs a competing client; unsatisfiable with one client.
+        builder.add_coverage("token-migrates", lambda s: s[1].st == BUSY_RECALL)
+    builder.set_deadlock_policy(DeadlockPolicy.fail(quiescent=_quiescent))
+    return builder.build()
+
+
+def build_vi_system(n_clients: int = 2, symmetry: bool = True) -> TransitionSystem:
+    """The complete VI protocol."""
+    return _build(
+        n_clients, _client_data_reference, _dir_gotit_reference, "vi", symmetry
+    )
+
+
+def build_vi_skeleton(
+    n_clients: int = 2,
+    hole_client: bool = True,
+    hole_dir: bool = True,
+    symmetry: bool = True,
+) -> Tuple[TransitionSystem, List[Hole]]:
+    """The VI protocol with chosen rules blanked out for synthesis."""
+    holes: List[Hole] = []
+
+    client_handler = _client_data_reference
+    if hole_client:
+        response, next_state = client_data_holes()
+        holes.extend([response, next_state])
+
+        def client_handler(view, proc, ctx, message):  # noqa: F811
+            ctx.resolve(response).fn(view, proc)
+            view.become(proc, ctx.resolve(next_state).payload)
+
+    dir_handler = _dir_gotit_reference
+    if hole_dir:
+        dir_response, dir_next = dir_gotit_holes()
+        holes.extend([dir_response, dir_next])
+
+        def dir_handler(view, proc, ctx, message):  # noqa: F811
+            ctx.resolve(dir_response).fn(view, proc)
+            target = ctx.resolve(dir_next).payload
+            updates = {"st": target}
+            if target == OWNED:
+                updates["owner"] = view.glob.req
+                updates["req"] = -1
+            view.glob = view.glob.update(**updates)
+
+    system = _build(n_clients, client_handler, dir_handler, "vi-skeleton", symmetry)
+    return system, holes

@@ -1,0 +1,19 @@
+"""Small generic utilities shared across the library."""
+
+from repro.util.itertools2 import (
+    MixedRadixCounter,
+    mixed_radix_decode,
+    mixed_radix_encode,
+    product_size,
+    split_ranges,
+)
+from repro.util.timing import Stopwatch
+
+__all__ = [
+    "MixedRadixCounter",
+    "Stopwatch",
+    "mixed_radix_decode",
+    "mixed_radix_encode",
+    "product_size",
+    "split_ranges",
+]

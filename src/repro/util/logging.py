@@ -1,0 +1,28 @@
+"""Library logging setup.
+
+The library logs under the ``repro`` namespace and never configures the root
+logger; applications opt in with :func:`enable_verbose_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``."""
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def enable_verbose_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the library logger (idempotent)."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)

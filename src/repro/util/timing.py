@@ -1,0 +1,51 @@
+"""Wall-clock measurement helper used by engines and benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch.
+
+    >>> watch = Stopwatch.started()
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float = 0.0
+        self._accumulated: float = 0.0
+        self._running = False
+
+    @classmethod
+    def started(cls) -> "Stopwatch":
+        watch = cls()
+        watch.start()
+        return watch
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+        self._running = True
+
+    def stop(self) -> float:
+        if not self._running:
+            raise RuntimeError("stopwatch not running")
+        self._accumulated += time.perf_counter() - self._start
+        self._running = False
+        return self._accumulated
+
+    @property
+    def elapsed(self) -> float:
+        if self._running:
+            return self._accumulated + (time.perf_counter() - self._start)
+        return self._accumulated
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,143 @@
+"""Tests for solution grouping, run comparisons, and table rendering."""
+
+import pytest
+
+from repro.analysis.grouping import describe_groups, group_solutions
+from repro.analysis.stats import RunComparison, compare_reports, estimate_naive_seconds
+from repro.analysis.tables import format_table, render_table1_row
+from repro.core.report import Solution, SynthesisReport
+from repro.core.hole import Hole
+from repro.core.action import Action
+
+
+def solution(digits, states, fingerprint=None, run_index=1):
+    return Solution(
+        digits=tuple(digits),
+        assignment=tuple((f"h{i}", f"a{d}") for i, d in enumerate(digits)),
+        states_visited=states,
+        fingerprint=fingerprint,
+        run_index=run_index,
+    )
+
+
+class TestGrouping:
+    def test_groups_by_fingerprint(self):
+        solutions = [
+            solution([0], 100, fingerprint=1),
+            solution([1], 100, fingerprint=1),
+            solution([2], 120, fingerprint=2),
+        ]
+        groups = group_solutions(solutions)
+        assert [group.size for group in groups] == [1, 2]
+        assert groups[0].states_visited == 120
+
+    def test_groups_by_state_count_fallback(self):
+        solutions = [solution([0], 50), solution([1], 50), solution([2], 60)]
+        groups = group_solutions(solutions)
+        assert [(g.states_visited, g.size) for g in groups] == [(60, 1), (50, 2)]
+
+    def test_empty(self):
+        assert group_solutions([]) == []
+
+    def test_describe_groups(self):
+        report = SynthesisReport(system_name="s", pruning=True, threads=1)
+        report.holes = [Hole("h0", [Action("a0"), Action("a1"), Action("a2")])]
+        report.solutions = [solution([0], 10), solution([1], 10)]
+        text = describe_groups(report)
+        assert "2 solutions in 1 behavioural group(s)" in text
+        assert "10 visited states" in text
+
+
+class TestComparisons:
+    def test_reduction_and_speedup(self):
+        comparison = RunComparison(
+            baseline_evaluated=231_525,
+            optimised_evaluated=855,
+            baseline_seconds=64.5,
+            optimised_seconds=1.8,
+        )
+        assert comparison.evaluated_reduction == pytest.approx(0.9963, abs=1e-4)
+        assert comparison.speedup == pytest.approx(35.8, abs=0.1)
+
+    def test_compare_reports(self):
+        baseline = SynthesisReport(system_name="s", pruning=False, threads=1)
+        baseline.evaluated = 100
+        baseline.elapsed_seconds = 10.0
+        optimised = SynthesisReport(system_name="s", pruning=True, threads=1)
+        optimised.evaluated = 10
+        optimised.elapsed_seconds = 1.0
+        comparison = compare_reports(baseline, optimised)
+        assert comparison.evaluated_reduction == pytest.approx(0.9)
+        assert comparison.speedup == pytest.approx(10.0)
+        assert "90.0% reduction" in comparison.summary()
+
+    def test_estimated_baseline_flagged(self):
+        comparison = RunComparison(10, 1, 5.0, 1.0, baseline_estimated=True)
+        assert "estimated" in comparison.summary()
+
+    def test_estimate_naive_seconds(self):
+        assert estimate_naive_seconds(1000, 10, 1.0) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            estimate_naive_seconds(1000, 0, 1.0)
+
+    def test_sample_candidate_cost(self):
+        from repro.analysis.stats import sample_candidate_cost
+        from repro.protocols.msi import msi_tiny
+
+        sample = sample_candidate_cost(msi_tiny(n_caches=2), samples=3, seed=1)
+        assert sample["samples"] == 3
+        assert sample["mean_seconds"] > 0
+        with pytest.raises(ValueError):
+            sample_candidate_cost(msi_tiny(n_caches=2), samples=0)
+
+
+class TestTables:
+    def make_report(self):
+        report = SynthesisReport(system_name="msi", pruning=True, threads=1)
+        report.holes = [Hole(f"h{i}", [Action("x"), Action("y")]) for i in range(3)]
+        report.evaluated = 42
+        report.failure_patterns = 7
+        report.elapsed_seconds = 1.25
+        return report
+
+    def test_row_contents(self):
+        row = render_table1_row("msi-small 1 thread, pruning", self.make_report())
+        assert row["Holes"] == 3
+        assert row["Candidates"] == 27  # (2+1)^3 wildcard space for pruning
+        assert row["Pruning Patterns"] == 7
+        assert row["Evaluated"] == 42
+
+    def test_naive_row_uses_plain_space(self):
+        report = self.make_report()
+        report.pruning = False
+        row = render_table1_row("naive", report)
+        assert row["Candidates"] == 8  # 2^3
+        assert row["Pruning Patterns"] is None
+
+    def test_overrides_and_estimation(self):
+        row = render_table1_row(
+            "naive", self.make_report(), evaluated_override=99,
+            seconds_override=12.5, estimated=True,
+        )
+        assert row["Evaluated"] == 99
+        assert row["Exec. Time"] == 12.5
+        assert "estimated" in row["Configuration"]
+
+    def test_format_table_alignment(self):
+        rows = [
+            render_table1_row("cfg-a", self.make_report()),
+            render_table1_row("cfg-b", self.make_report()),
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert lines[0].startswith("Configuration")
+        assert "N/A" not in text
+        assert "1.2s" in text  # time formatting
+        assert len({len(line) for line in lines}) <= 2  # aligned
+
+    def test_format_table_handles_none(self):
+        report = self.make_report()
+        report.pruning = False
+        text = format_table([render_table1_row("naive", report)])
+        assert "N/A" in text

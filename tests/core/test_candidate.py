@@ -1,0 +1,66 @@
+"""Tests for candidate vectors and the paper's display notation."""
+
+import pytest
+
+from repro.core.action import Action
+from repro.core.candidate import WILDCARD, CandidateVector, format_candidate
+from repro.core.hole import Hole
+from repro.errors import CandidateError
+
+
+@pytest.fixture
+def holes():
+    a, b, c = Action("A"), Action("B"), Action("C")
+    return [Hole("hole1", [a, b, c]), Hole("hole2", [a, b])]
+
+
+def test_wildcard_is_singleton():
+    from repro.core.candidate import _Wildcard
+
+    assert _Wildcard() is WILDCARD
+    assert repr(WILDCARD) == "?"
+
+
+def test_empty_candidate():
+    vector = CandidateVector.empty()
+    assert len(vector) == 0
+    assert vector.action_index(0) is WILDCARD
+
+
+def test_positions_beyond_vector_are_wildcards():
+    vector = CandidateVector.from_digits([1])
+    assert vector.action_index(0) == 1
+    assert vector.action_index(5) is WILDCARD
+
+
+def test_constraints_skip_wildcards():
+    vector = CandidateVector([0, WILDCARD, 2])
+    assert vector.constraints() == ((0, 0), (2, 2))
+    assert vector.assigned_positions() == (0, 2)
+
+
+def test_invalid_entry_rejected():
+    with pytest.raises(CandidateError):
+        CandidateVector([-1])
+    with pytest.raises(CandidateError):
+        CandidateVector(["x"])
+
+
+def test_equality_and_hash():
+    assert CandidateVector([1, 2]) == CandidateVector((1, 2))
+    assert hash(CandidateVector([1])) == hash(CandidateVector([1]))
+    assert CandidateVector([1]) != CandidateVector([2])
+
+
+def test_format_matches_paper_notation(holes):
+    text = format_candidate(CandidateVector([1, WILDCARD]), holes)
+    assert text == "<1@B, 2@?>"
+
+
+def test_format_rejects_out_of_range(holes):
+    with pytest.raises(CandidateError):
+        format_candidate(CandidateVector([9]), holes)
+
+
+def test_repr_shows_wildcards():
+    assert "?" in repr(CandidateVector([0, WILDCARD]))

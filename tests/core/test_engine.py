@@ -1,0 +1,242 @@
+"""End-to-end tests of the synthesis engines on the Figure 2 toy system."""
+
+import pytest
+
+from repro.core.action import Action
+from repro.core.candidate import CandidateVector
+from repro.core.engine import SynthesisConfig, SynthesisEngine, SynthesisObserver
+from repro.core.hole import Hole
+from repro.core.parallel import ParallelSynthesisEngine
+from repro.mc.properties import DeadlockPolicy, Invariant
+from repro.mc.rule import Rule
+from repro.mc.system import TransitionSystem
+from repro.protocols.toy import build_figure2_skeleton, build_figure2_solution
+
+
+class RecordingObserver(SynthesisObserver):
+    def __init__(self):
+        self.runs = []
+        self.patterns = []
+        self.solutions = []
+        self.passes = []
+
+    def on_pass_started(self, pass_index, holes):
+        self.passes.append((pass_index, len(holes)))
+
+    def on_run(self, run_index, vector, result, holes):
+        self.runs.append((run_index, vector.entries, result.verdict.value))
+
+    def on_pattern(self, pattern, holes):
+        self.patterns.append(pattern.constraints)
+
+    def on_solution(self, solution, holes):
+        self.solutions.append(solution.digits)
+
+
+class TestFigure2Pruned:
+    """The engine must reproduce Figure 2's run table exactly."""
+
+    @pytest.fixture
+    def report_and_observer(self):
+        observer = RecordingObserver()
+        report = SynthesisEngine(
+            build_figure2_skeleton(), SynthesisConfig(), observer
+        ).run()
+        return report, observer
+
+    def test_ten_runs_total(self, report_and_observer):
+        report, _observer = report_and_observer
+        assert report.evaluated == 10
+
+    def test_naive_space_is_24(self, report_and_observer):
+        report, _observer = report_and_observer
+        assert report.naive_candidate_space == 24
+        assert report.wildcard_candidate_space == 108
+
+    def test_exact_run_sequence(self, report_and_observer):
+        _report, observer = report_and_observer
+        # Runs of Figure 2, as (digits, verdict). A=0, B=1, C=2.
+        expected = [
+            ((), "unknown"),               # run 1: <> discovers hole 1
+            ((0,), "failure"),             # run 2: <1@A>
+            ((1,), "unknown"),             # run 3: <1@B> discovers hole 2
+            ((2,), "failure"),             # run 4: <1@C, 2@?>
+            ((1, 0), "unknown"),           # run 5: <1@B, 2@A> discovers hole 3
+            ((1, 1), "failure"),           # run 6: <1@B, 2@B, 3@?>
+            ((1, 0, 0), "failure"),        # run 7: <1@B, 2@A, 3@A>
+            ((1, 0, 1), "unknown"),        # run 8: <1@B, 2@A, 3@B> discovers hole 4
+            ((1, 0, 1, 0), "failure"),     # run 9: <1@B, 2@A, 3@B, 4@A>
+            ((1, 0, 1, 1), "success"),     # run 10
+        ]
+        assert [(digits, verdict) for _i, digits, verdict in observer.runs] == expected
+
+    def test_five_pruning_patterns(self, report_and_observer):
+        report, observer = report_and_observer
+        assert report.failure_patterns == 5
+        assert observer.patterns == [
+            ((0, 0),),
+            ((0, 2),),
+            ((0, 1), (1, 1)),
+            ((0, 1), (1, 0), (2, 0)),
+            ((0, 1), (1, 0), (2, 1), (3, 0)),
+        ]
+
+    def test_unique_solution(self, report_and_observer):
+        report, _observer = report_and_observer
+        assert len(report.solutions) == 1
+        solution = report.solutions[0]
+        assert solution.assignment_dict() == build_figure2_solution()
+        assert report.format_solution(solution) == "<1@B, 2@A, 3@B, 4@B>"
+
+    def test_holes_discovered_in_order(self, report_and_observer):
+        report, _observer = report_and_observer
+        assert [h.name for h in report.holes] == ["hole1", "hole2", "hole3", "hole4"]
+
+    def test_accounting_adds_up(self, report_and_observer):
+        # Every covered candidate is evaluated, pruned, or skipped.
+        report, _observer = report_and_observer
+        assert report.covered == (
+            (report.evaluated - 1)  # initial run not part of a pass
+            + report.pruned_failure
+            + report.skipped_success
+        )
+
+
+class TestFigure2Naive:
+    def test_naive_evaluates_full_product(self):
+        report = SynthesisEngine(
+            build_figure2_skeleton(), SynthesisConfig(pruning=False)
+        ).run()
+        assert report.evaluated == 24
+        assert report.failure_patterns == 0
+        assert len(report.solutions) == 1
+        assert report.solutions[0].assignment_dict() == build_figure2_solution()
+
+    def test_reduction_metric(self):
+        pruned = SynthesisEngine(build_figure2_skeleton()).run()
+        assert pruned.reduction_vs_naive == pytest.approx(1 - 10 / 24)
+
+
+class TestNaiveMatchMode:
+    def test_flat_matching_gives_identical_counts(self):
+        subtree = SynthesisEngine(build_figure2_skeleton()).run()
+        flat = SynthesisEngine(
+            build_figure2_skeleton(), SynthesisConfig(naive_match=True)
+        ).run()
+        assert flat.evaluated == subtree.evaluated
+        assert flat.failure_patterns == subtree.failure_patterns
+        assert flat.pruned_failure == subtree.pruned_failure
+        assert [s.digits for s in flat.solutions] == [
+            s.digits for s in subtree.solutions
+        ]
+
+
+class TestRefinedPatterns:
+    def test_refined_patterns_constrain_fewer_positions(self):
+        report = SynthesisEngine(
+            build_figure2_skeleton(), SynthesisConfig(refined_patterns=True)
+        ).run()
+        assert len(report.solutions) == 1
+        # Run 6 (<1@B, 2@B>) fails at s2 without the hole-1 choice being part
+        # of the error *trace*... it is on the path (s0 -> s2), so refined
+        # patterns still include it; but run 9's failure path executes all
+        # assigned holes. Refined must never evaluate MORE than full-vector.
+        full = SynthesisEngine(build_figure2_skeleton()).run()
+        assert report.evaluated <= full.evaluated
+
+
+class TestParallelEngine:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_same_solutions_any_thread_count(self, threads):
+        report = ParallelSynthesisEngine(
+            build_figure2_skeleton(), threads=threads
+        ).run()
+        assert len(report.solutions) == 1
+        assert report.solutions[0].assignment_dict() == build_figure2_solution()
+        assert report.threads == threads
+
+    def test_parallel_naive_mode(self):
+        report = ParallelSynthesisEngine(
+            build_figure2_skeleton(),
+            SynthesisConfig(pruning=False),
+            threads=2,
+        ).run()
+        assert report.evaluated == 24
+        assert len(report.solutions) == 1
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            ParallelSynthesisEngine(build_figure2_skeleton(), threads=0)
+
+
+class TestStopConditions:
+    def test_solution_limit(self):
+        report = SynthesisEngine(
+            build_figure2_skeleton(), SynthesisConfig(solution_limit=1)
+        ).run()
+        assert len(report.solutions) == 1
+        assert report.stopped_early
+
+    def test_max_evaluations(self):
+        report = SynthesisEngine(
+            build_figure2_skeleton(), SynthesisConfig(max_evaluations=3)
+        ).run()
+        assert report.evaluated <= 4
+        assert report.stopped_early
+
+    def test_max_passes(self):
+        report = SynthesisEngine(
+            build_figure2_skeleton(), SynthesisConfig(max_passes=1)
+        ).run()
+        assert report.passes == 1
+        assert report.stopped_early
+
+
+class TestInherentFailure:
+    def test_unsatisfiable_skeleton_detected(self):
+        # The invariant fails before any hole is reachable.
+        hole = Hole("h", [Action("a")])
+
+        def apply(s, ctx):
+            ctx.resolve(hole)
+            return [s]
+
+        system = TransitionSystem(
+            name="doomed",
+            initial_states=[0],
+            rules=[
+                Rule("bad", guard=lambda s: s == 0, apply=lambda s, ctx: [99]),
+                Rule("hole", guard=lambda s: s == 99, apply=apply),
+            ],
+            invariants=[Invariant("never-99", lambda s: s != 99)],
+        )
+        report = SynthesisEngine(system).run()
+        assert report.inherent_failure
+        assert report.solutions == []
+        assert report.evaluated == 1
+
+
+class TestHoleFreeSystem:
+    def test_complete_system_is_its_own_solution(self):
+        system = TransitionSystem(
+            name="complete",
+            initial_states=[0],
+            rules=[Rule("loop", guard=lambda s: True, apply=lambda s, ctx: [s])],
+        )
+        report = SynthesisEngine(system).run()
+        assert len(report.solutions) == 1
+        assert report.solutions[0].digits == ()
+        assert report.holes == []
+
+
+class TestFingerprints:
+    def test_solution_fingerprints_enabled(self):
+        report = SynthesisEngine(
+            build_figure2_skeleton(), SynthesisConfig(compute_fingerprints=True)
+        ).run()
+        assert report.solutions[0].fingerprint is not None
+
+    def test_solution_fingerprints_disabled_by_default(self):
+        report = SynthesisEngine(build_figure2_skeleton()).run()
+        assert report.solutions[0].fingerprint is None
+        assert report.solutions[0].states_visited > 0

@@ -1,0 +1,170 @@
+"""Tests for pruning patterns, the table, and the incremental DFS matcher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidate import WILDCARD, CandidateVector
+from repro.core.enumeration import SubtreeEnumerator
+from repro.core.pruning import DfsMatcher, PruningPattern, PruningTable
+from repro.util.itertools2 import mixed_radix_decode, product_size
+
+
+class TestPruningPattern:
+    def test_from_candidate_drops_wildcards(self):
+        vector = CandidateVector([1, WILDCARD, 0])
+        pattern = PruningPattern.from_candidate(vector)
+        assert pattern.constraints == ((0, 1), (2, 0))
+        assert pattern.max_position == 2
+
+    def test_empty_pattern(self):
+        pattern = PruningPattern(())
+        assert pattern.is_empty
+        assert pattern.matches(CandidateVector([0, 0]))
+
+    def test_matching_superset_semantics(self):
+        # The paper's core insight: <1@A> prunes any <1@A, 2@*, ...>.
+        pattern = PruningPattern([(0, 0)])
+        assert pattern.matches(CandidateVector([0, 1]))
+        assert pattern.matches(CandidateVector([0]))
+        assert not pattern.matches(CandidateVector([1, 0]))
+
+    def test_candidate_wildcard_does_not_satisfy_constraint(self):
+        pattern = PruningPattern([(1, 0)])
+        assert not pattern.matches(CandidateVector([0, WILDCARD]))
+        assert not pattern.matches(CandidateVector([0]))
+
+    def test_duplicate_position_rejected(self):
+        with pytest.raises(ValueError):
+            PruningPattern([(0, 1), (0, 2)])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PruningPattern([(-1, 0)])
+
+    def test_subsumes(self):
+        general = PruningPattern([(0, 1)])
+        specific = PruningPattern([(0, 1), (1, 0)])
+        assert general.subsumes(specific)
+        assert not specific.subsumes(general)
+
+    def test_equality_hash(self):
+        assert PruningPattern([(1, 2), (0, 1)]) == PruningPattern([(0, 1), (1, 2)])
+        assert hash(PruningPattern([(0, 1)])) == hash(PruningPattern([(0, 1)]))
+
+
+class TestPruningTable:
+    def test_add_and_match(self):
+        table = PruningTable()
+        assert table.add(PruningPattern([(0, 1)]))
+        assert table.matches(CandidateVector([1, 0])) is not None
+        assert table.matches(CandidateVector([0, 0])) is None
+
+    def test_exact_duplicates_rejected(self):
+        table = PruningTable()
+        table.add(PruningPattern([(0, 1)]))
+        assert not table.add(PruningPattern([(0, 1)]))
+        assert len(table) == 1
+
+    def test_subsumption_rejects_implied(self):
+        table = PruningTable(subsumption=True)
+        table.add(PruningPattern([(0, 1)]))
+        assert not table.add(PruningPattern([(0, 1), (1, 0)]))
+        assert len(table) == 1
+
+    def test_subsumption_disabled_keeps_implied(self):
+        table = PruningTable(subsumption=False)
+        table.add(PruningPattern([(0, 1)]))
+        assert table.add(PruningPattern([(0, 1), (1, 0)]))
+        assert len(table) == 2
+
+    def test_versioning_and_delta(self):
+        table = PruningTable()
+        version = table.version
+        table.add(PruningPattern([(0, 0)]))
+        table.add(PruningPattern([(1, 1)]))
+        delta = table.patterns_since(version)
+        assert len(delta) == 2
+        assert table.patterns_since(table.version) == []
+
+
+class TestDfsMatcher:
+    def test_push_fires_on_complete_pattern(self):
+        matcher = DfsMatcher([PruningPattern([(0, 1), (1, 0)])])
+        assert not matcher.push(0, 1)
+        assert matcher.push(1, 0)
+        matcher.pop(1, 0)
+        assert not matcher.any_matched
+        assert not matcher.push(1, 1)
+
+    def test_pop_restores(self):
+        matcher = DfsMatcher([PruningPattern([(0, 1)])])
+        assert matcher.push(0, 1)
+        matcher.pop(0, 1)
+        assert not matcher.any_matched
+        assert not matcher.push(0, 0)
+
+    def test_integrate_with_satisfied_prefix(self):
+        matcher = DfsMatcher()
+        matcher.push(0, 1)
+        matcher.push(1, 0)
+        matcher.integrate([PruningPattern([(0, 1)])], current_path=(1, 0))
+        assert matcher.any_matched
+        # Backtrack above the constraint: no longer matched.
+        matcher.pop(1, 0)
+        matcher.pop(0, 1)
+        assert not matcher.any_matched
+        # Re-push a matching digit: matched again.
+        assert matcher.push(0, 1)
+
+    def test_fully_matched_helper(self):
+        matcher = DfsMatcher([PruningPattern([(0, 1), (2, 0)])])
+        assert matcher.fully_matched((1, 9, 0))
+        assert not matcher.fully_matched((1, 9, 1))
+        assert not matcher.fully_matched((1,))
+
+
+# -- differential property test: subtree skipping == flat matching ----------
+
+pattern_strategy = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 2)),
+        min_size=1,
+        max_size=3,
+        unique_by=lambda c: c[0],
+    ),
+    max_size=6,
+)
+
+radices_strategy = st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=4)
+
+
+@settings(max_examples=200, deadline=None)
+@given(radices_strategy, pattern_strategy)
+def test_subtree_walker_equals_flat_matching(radices, raw_patterns):
+    """The DFS subtree skipper must yield exactly the flat-match survivors."""
+    patterns = []
+    for raw in raw_patterns:
+        constraints = [
+            (position, action % radix)
+            for position, action in raw
+            if position < len(radices)
+            for radix in [radices[position]]
+        ]
+        if constraints:
+            patterns.append(PruningPattern(constraints))
+
+    matcher = DfsMatcher(patterns)
+    enumerator = SubtreeEnumerator(radices, [("fail", matcher)])
+    walked = list(enumerator)
+
+    expected = []
+    for index in range(product_size(radices)):
+        digits = mixed_radix_decode(index, radices)
+        vector = CandidateVector.from_digits(digits)
+        if not any(p.matches(vector) for p in patterns):
+            expected.append(digits)
+
+    assert walked == expected
+    assert enumerator.counters.yielded == len(expected)
+    assert enumerator.counters.skipped["fail"] == product_size(radices) - len(expected)

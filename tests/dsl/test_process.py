@@ -1,0 +1,50 @@
+"""Tests for ProcessArray."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsl.process import ProcessArray
+
+
+def test_uniform():
+    array = ProcessArray.uniform("I", 3)
+    assert len(array) == 3
+    assert list(array) == ["I", "I", "I"]
+
+
+def test_uniform_rejects_empty():
+    with pytest.raises(ValueError):
+        ProcessArray.uniform("I", 0)
+
+
+def test_set_is_persistent():
+    array = ProcessArray.uniform("I", 2)
+    updated = array.set(1, "V")
+    assert array[1] == "I"
+    assert updated[1] == "V"
+
+
+def test_count():
+    array = ProcessArray(("I", "V", "V"))
+    assert array.count("V") == 2
+    assert array.count("X") == 0
+
+
+def test_renamed():
+    array = ProcessArray(("A", "B", "C"))
+    renamed = array.renamed((2, 0, 1))  # old 0 -> new 2, old 1 -> new 0, ...
+    assert list(renamed) == ["B", "C", "A"]
+
+
+def test_equality_hash():
+    assert ProcessArray(("I",)) == ProcessArray(("I",))
+    assert hash(ProcessArray(("I",))) == hash(ProcessArray(("I",)))
+
+
+@given(st.permutations(list(range(4))))
+def test_rename_roundtrip(mapping):
+    array = ProcessArray(("A", "B", "C", "D"))
+    mapping = tuple(mapping)
+    inverse = tuple(mapping.index(i) for i in range(4))
+    assert array.renamed(mapping).renamed(inverse) == array

@@ -1,0 +1,70 @@
+"""Tests for execution contexts and hole resolvers."""
+
+import pytest
+
+from repro.core.action import Action
+from repro.core.hole import Hole
+from repro.errors import ModelError, WildcardEncountered
+from repro.mc.context import ExecutionContext, FixedResolver, NullResolver
+
+
+@pytest.fixture
+def hole():
+    return Hole("h", [Action("a"), Action("b")])
+
+
+def test_null_resolver_rejects_holes(hole):
+    ctx = ExecutionContext(NullResolver())
+    with pytest.raises(ModelError):
+        ctx.resolve(hole)
+
+
+def test_default_context_uses_null_resolver(hole):
+    with pytest.raises(ModelError):
+        ExecutionContext().resolve(hole)
+
+
+def test_fixed_resolver_by_object(hole):
+    ctx = ExecutionContext(FixedResolver({hole: hole.domain[1]}))
+    assert ctx.resolve(hole).name == "b"
+
+
+def test_fixed_resolver_by_name(hole):
+    ctx = ExecutionContext(FixedResolver({"h": hole.domain[0]}))
+    assert ctx.resolve(hole).name == "a"
+
+
+def test_fixed_resolver_strict_missing(hole):
+    ctx = ExecutionContext(FixedResolver({}))
+    with pytest.raises(ModelError):
+        ctx.resolve(hole)
+
+
+def test_fixed_resolver_lenient_missing_is_wildcard(hole):
+    ctx = ExecutionContext(FixedResolver({}, strict=False))
+    with pytest.raises(WildcardEncountered):
+        ctx.resolve(hole)
+    assert ctx.run_wildcard_encountered
+    assert ctx.firing_hit_wildcard
+
+
+def test_context_tracks_executed_holes(hole):
+    other = Hole("g", [Action("x")])
+    resolver = FixedResolver({hole: hole.domain[0], other: other.domain[0]})
+    ctx = ExecutionContext(resolver)
+    ctx.begin_firing()
+    ctx.resolve(hole)
+    assert ctx.firing_executed_holes == frozenset({hole})
+    ctx.begin_firing()
+    ctx.resolve(other)
+    assert ctx.firing_executed_holes == frozenset({other})
+    assert ctx.run_executed_holes == {hole, other}
+
+
+def test_begin_firing_resets_wildcard_flag(hole):
+    ctx = ExecutionContext(FixedResolver({}, strict=False))
+    with pytest.raises(WildcardEncountered):
+        ctx.resolve(hole)
+    ctx.begin_firing()
+    assert not ctx.firing_hit_wildcard
+    assert ctx.run_wildcard_encountered  # run-level flag persists

@@ -1,0 +1,109 @@
+"""Tests for the DFS explorer (verdict parity with BFS; trade-offs)."""
+
+import pytest
+
+from repro.mc.bfs import BfsExplorer, ExplorationLimits
+from repro.mc.context import FixedResolver
+from repro.mc.dfs import DfsExplorer
+from repro.mc.properties import CoverageProperty, DeadlockPolicy, Invariant
+from repro.mc.result import FailureKind, Verdict
+from repro.mc.rule import Rule
+from repro.mc.system import TransitionSystem
+from repro.protocols.msi.system import build_msi_system
+from repro.protocols.mutex import build_mutex_system
+from repro.protocols.vi import build_vi_system
+
+
+def counter_system(limit=5, invariants=(), coverage=()):
+    return TransitionSystem(
+        name="counter",
+        initial_states=[0],
+        rules=[
+            Rule("inc", guard=lambda s: s < limit, apply=lambda s, ctx: [s + 1]),
+            Rule("stay", guard=lambda s: s == limit, apply=lambda s, ctx: [s]),
+        ],
+        invariants=invariants,
+        coverage=coverage,
+    )
+
+
+class TestVerdictParity:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: counter_system(),
+            lambda: counter_system(invariants=[Invariant("lt3", lambda s: s < 3)]),
+            lambda: counter_system(coverage=[CoverageProperty("c9", lambda s: s == 9)]),
+            lambda: build_msi_system(2),
+            lambda: build_msi_system(2, evictions=True),
+            lambda: build_vi_system(2),
+            lambda: build_mutex_system(2),
+        ],
+    )
+    def test_same_verdict_as_bfs(self, factory):
+        bfs = BfsExplorer(factory()).run()
+        dfs = DfsExplorer(factory()).run()
+        assert dfs.verdict == bfs.verdict
+
+    def test_same_state_count_on_success(self):
+        # On a SUCCESS both must have explored the full reachable space.
+        bfs = BfsExplorer(build_msi_system(2)).run()
+        dfs = DfsExplorer(build_msi_system(2)).run()
+        assert dfs.stats.states_visited == bfs.stats.states_visited
+
+
+class TestDfsSpecifics:
+    def test_trace_may_be_longer_than_bfs(self):
+        # Two roads to the violation; DFS may take the scenic one, but the
+        # trace must still be a valid path ending in the violation.
+        system = counter_system(invariants=[Invariant("lt4", lambda s: s < 4)])
+        result = DfsExplorer(system).run()
+        assert result.verdict is Verdict.FAILURE
+        states = [step.state for step in result.trace]
+        assert states[-1] == 4
+        assert len(result.trace) >= len(BfsExplorer(system).run().trace)
+
+    def test_deadlock_detection(self):
+        system = TransitionSystem(
+            name="dead",
+            initial_states=[0],
+            rules=[Rule("inc", guard=lambda s: s < 2, apply=lambda s, ctx: [s + 1])],
+        )
+        result = DfsExplorer(system).run()
+        assert result.failure_kind is FailureKind.DEADLOCK
+
+    def test_limits_truncate_to_unknown(self):
+        result = DfsExplorer(
+            counter_system(limit=1000), limits=ExplorationLimits(max_states=10)
+        ).run()
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.stats.truncated
+
+    def test_wildcards_yield_unknown(self):
+        from repro.core.action import Action
+        from repro.core.hole import Hole
+
+        hole = Hole("h", [Action("a")])
+
+        def apply(s, ctx):
+            ctx.resolve(hole)
+            return [s + 1]
+
+        system = TransitionSystem(
+            name="holed",
+            initial_states=[0],
+            rules=[
+                Rule("step", guard=lambda s: s == 0, apply=apply),
+                Rule("stay", guard=lambda s: s > 0, apply=lambda s, ctx: [s]),
+            ],
+            deadlock=DeadlockPolicy.allow(),
+        )
+        result = DfsExplorer(system, resolver=FixedResolver({}, strict=False)).run()
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.stats.wildcard_cuts == 1
+
+    def test_traces_disabled(self):
+        system = counter_system(invariants=[Invariant("lt3", lambda s: s < 3)])
+        result = DfsExplorer(system, record_traces=False).run()
+        assert result.is_failure
+        assert result.trace is None

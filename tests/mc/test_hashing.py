@@ -1,0 +1,47 @@
+"""Tests for deterministic state fingerprints."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mc.hashing import fingerprint_bytes, fingerprint_state, fingerprint_state_set
+
+
+def test_fingerprint_bytes_known_value():
+    # FNV-1a of empty input is the offset basis.
+    assert fingerprint_bytes(b"") == 0xCBF29CE484222325
+
+
+def test_fingerprint_bytes_differs():
+    assert fingerprint_bytes(b"a") != fingerprint_bytes(b"b")
+
+
+def test_state_fingerprint_deterministic():
+    state = (("I", "M"), 0)
+    assert fingerprint_state(state) == fingerprint_state(state)
+
+
+def test_state_fingerprint_distinguishes():
+    assert fingerprint_state(("I",)) != fingerprint_state(("M",))
+
+
+def test_set_fingerprint_order_independent():
+    states = [("I",), ("S",), ("M",)]
+    assert fingerprint_state_set(states) == fingerprint_state_set(reversed(states))
+
+
+def test_set_fingerprint_sensitive_to_content():
+    assert fingerprint_state_set([("I",)]) != fingerprint_state_set([("M",)])
+
+
+def test_set_fingerprint_sensitive_to_count():
+    # XOR alone would cancel duplicates; the count mix-in must not.
+    assert fingerprint_state_set([]) != fingerprint_state_set([("I",), ("I",)])
+
+
+@given(st.lists(st.tuples(st.integers(), st.text(max_size=3)), max_size=8))
+def test_set_fingerprint_permutation_property(states):
+    import random
+
+    shuffled = list(states)
+    random.Random(0).shuffle(shuffled)
+    assert fingerprint_state_set(states) == fingerprint_state_set(shuffled)

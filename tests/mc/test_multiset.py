@@ -1,0 +1,106 @@
+"""Unit and property tests for the immutable multiset (unordered network)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mc.multiset import Multiset
+
+elements = st.lists(st.integers(min_value=0, max_value=5), max_size=10)
+
+
+class TestBasics:
+    def test_empty(self):
+        bag = Multiset()
+        assert len(bag) == 0
+        assert not bag
+        assert 1 not in bag
+
+    def test_add_and_count(self):
+        bag = Multiset(["a"]).add("a").add("b")
+        assert bag.count("a") == 2
+        assert bag.count("b") == 1
+        assert bag.count("c") == 0
+
+    def test_add_is_persistent(self):
+        bag = Multiset(["x"])
+        bigger = bag.add("x")
+        assert len(bag) == 1
+        assert len(bigger) == 2
+
+    def test_remove(self):
+        bag = Multiset(["a", "a", "b"]).remove("a")
+        assert bag.count("a") == 1
+        assert bag.count("b") == 1
+
+    def test_remove_last_copy_drops_element(self):
+        bag = Multiset(["a"]).remove("a")
+        assert "a" not in bag
+        assert len(bag) == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            Multiset(["a"]).remove("b")
+
+    def test_remove_too_many_raises(self):
+        with pytest.raises(KeyError):
+            Multiset(["a"]).remove("a", count=2)
+
+    def test_add_remove_zero_is_identity(self):
+        bag = Multiset(["a"])
+        assert bag.add("a", 0) is bag
+        assert bag.remove("a", 0) is bag
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset().add("a", -1)
+        with pytest.raises(ValueError):
+            Multiset().remove("a", -1)
+
+
+class TestValueSemantics:
+    def test_order_independent_equality(self):
+        assert Multiset(["a", "b", "a"]) == Multiset(["b", "a", "a"])
+
+    def test_order_independent_hash(self):
+        assert hash(Multiset([3, 1, 2])) == hash(Multiset([2, 3, 1]))
+
+    def test_count_sensitivity(self):
+        assert Multiset(["a"]) != Multiset(["a", "a"])
+
+    def test_iteration_yields_all_copies(self):
+        assert sorted(Multiset(["b", "a", "a"])) == ["a", "a", "b"]
+
+    def test_distinct(self):
+        assert list(Multiset(["b", "a", "a"]).distinct()) == ["a", "b"]
+
+    @given(elements)
+    def test_equality_invariant_under_permutation(self, items):
+        assert Multiset(items) == Multiset(list(reversed(items)))
+
+    @given(elements, st.integers(min_value=0, max_value=5))
+    def test_add_then_remove_roundtrip(self, items, value):
+        bag = Multiset(items)
+        assert bag.add(value).remove(value) == bag
+
+    @given(elements)
+    def test_length_matches_input(self, items):
+        assert len(Multiset(items)) == len(items)
+
+
+class TestTransforms:
+    def test_map_renames(self):
+        bag = Multiset([("msg", 0), ("msg", 1)])
+        renamed = bag.map(lambda item: (item[0], 1 - item[1]))
+        assert renamed == Multiset([("msg", 1), ("msg", 0)])
+
+    def test_map_can_merge(self):
+        bag = Multiset([1, 2]).map(lambda _x: 0)
+        assert bag.count(0) == 2
+
+    def test_filter(self):
+        bag = Multiset([1, 2, 2, 3]).filter(lambda x: x != 2)
+        assert bag == Multiset([1, 3])
+
+    def test_repr_mentions_multiplicity(self):
+        assert "x2" in repr(Multiset(["a", "a"]))

@@ -1,0 +1,47 @@
+"""Tests for property objects."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mc.properties import CoverageProperty, DeadlockPolicy, Invariant
+
+
+def test_invariant_holds():
+    invariant = Invariant("positive", lambda s: s > 0)
+    assert invariant.holds(1)
+    assert not invariant.holds(0)
+
+
+def test_invariant_requires_name():
+    with pytest.raises(ModelError):
+        Invariant("", lambda s: True)
+
+
+def test_coverage_satisfied_by():
+    prop = CoverageProperty("sees-three", lambda s: s == 3)
+    assert prop.satisfied_by(3)
+    assert not prop.satisfied_by(2)
+
+
+def test_coverage_requires_name():
+    with pytest.raises(ModelError):
+        CoverageProperty("", lambda s: True)
+
+
+def test_deadlock_fail_policy():
+    assert DeadlockPolicy.fail().is_deadlock("anything")
+
+
+def test_deadlock_allow_policy():
+    assert not DeadlockPolicy.allow().is_deadlock("anything")
+
+
+def test_deadlock_quiescent_whitelist():
+    policy = DeadlockPolicy.fail(quiescent=lambda s: s == "done")
+    assert not policy.is_deadlock("done")
+    assert policy.is_deadlock("stuck")
+
+
+def test_reprs_include_names():
+    assert "positive" in repr(Invariant("positive", lambda s: True))
+    assert "fail" in repr(DeadlockPolicy.fail())

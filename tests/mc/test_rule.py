@@ -1,0 +1,73 @@
+"""Tests for Rule and ruleset expansion."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mc.context import ExecutionContext
+from repro.mc.rule import Rule, ruleset
+
+
+def test_rule_fire_returns_list():
+    rule = Rule("inc", guard=lambda s: s < 3, apply=lambda s, ctx: [s + 1])
+    assert rule.fire(0, ExecutionContext()) == [1]
+
+
+def test_rule_requires_name():
+    with pytest.raises(ModelError):
+        Rule("", guard=lambda s: True, apply=lambda s, ctx: [])
+
+
+def test_ruleset_expands_product():
+    rules = ruleset(
+        "move",
+        {"src": [0, 1], "dst": [0, 1]},
+        guard=lambda s, src, dst: src != dst,
+        apply=lambda s, ctx, src, dst: [s + (src, dst)],
+    )
+    assert len(rules) == 4
+    # Parameters sorted by name; the last parameter varies fastest.
+    assert [r.name for r in rules] == [
+        "move[dst=0,src=0]",
+        "move[dst=0,src=1]",
+        "move[dst=1,src=0]",
+        "move[dst=1,src=1]",
+    ]
+
+
+def test_ruleset_bindings_are_independent():
+    rules = ruleset(
+        "set",
+        {"i": [0, 1, 2]},
+        guard=lambda s, i: True,
+        apply=lambda s, ctx, i: [i],
+    )
+    ctx = ExecutionContext()
+    results = [rule.fire(None, ctx) for rule in rules]
+    assert results == [[0], [1], [2]]
+
+
+def test_ruleset_guard_receives_binding():
+    rules = ruleset(
+        "only-one",
+        {"i": [0, 1]},
+        guard=lambda s, i: i == 1,
+        apply=lambda s, ctx, i: [s],
+    )
+    assert [rule.guard("state") for rule in rules] == [False, True]
+
+
+def test_ruleset_params_recorded():
+    rules = ruleset(
+        "r", {"i": [7]}, guard=lambda s, i: True, apply=lambda s, ctx, i: [s]
+    )
+    assert rules[0].params == {"i": 7}
+
+
+def test_ruleset_rejects_empty_parameters():
+    with pytest.raises(ModelError):
+        ruleset("r", {}, guard=lambda s: True, apply=lambda s, ctx: [])
+
+
+def test_ruleset_rejects_empty_domain():
+    with pytest.raises(ModelError):
+        ruleset("r", {"i": []}, guard=lambda s, i: True, apply=lambda s, ctx, i: [])

@@ -1,0 +1,76 @@
+"""Tests for Record and state serialisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mc.multiset import Multiset
+from repro.mc.state import Record, state_key
+
+
+class TestRecord:
+    def test_field_access(self):
+        record = Record(x=1, name="cache")
+        assert record.x == 1
+        assert record.name == "cache"
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(AttributeError):
+            _ = Record(x=1).y
+
+    def test_update_returns_new(self):
+        first = Record(x=1, y=2)
+        second = first.update(x=10)
+        assert first.x == 1
+        assert second.x == 10
+        assert second.y == 2
+
+    def test_update_unknown_field_rejected(self):
+        with pytest.raises(AttributeError):
+            Record(x=1).update(z=3)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Record(x=1).x = 5
+
+    def test_equality_and_hash(self):
+        assert Record(a=1, b=2) == Record(b=2, a=1)
+        assert hash(Record(a=1, b=2)) == hash(Record(b=2, a=1))
+        assert Record(a=1) != Record(a=2)
+
+    def test_as_dict(self):
+        assert Record(a=1, b="x").as_dict() == {"a": 1, "b": "x"}
+
+    def test_usable_in_sets(self):
+        assert len({Record(s="I"), Record(s="I"), Record(s="M")}) == 2
+
+
+class TestStateKey:
+    def test_orders_mixed_types_without_error(self):
+        keys = [state_key(v) for v in (1, "a", None, True, (1, 2), frozenset({3}))]
+        assert sorted(keys)  # must not raise TypeError
+
+    def test_distinguishes_bool_from_int(self):
+        assert state_key(True) != state_key(1)
+
+    def test_record_key_is_field_order_independent(self):
+        assert state_key(Record(a=1, b=2)) == state_key(Record(b=2, a=1))
+
+    def test_multiset_key_is_insertion_order_independent(self):
+        assert state_key(Multiset(["b", "a"])) == state_key(Multiset(["a", "b"]))
+
+    def test_nested_structures(self):
+        state = (Record(caches=(Record(s="I"), Record(s="M"))), Multiset([("Data", 0)]))
+        assert state_key(state) == state_key(state)
+
+    @given(st.tuples(st.integers(), st.text(max_size=5)))
+    def test_deterministic(self, value):
+        assert state_key(value) == state_key(value)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), max_size=6),
+        st.lists(st.integers(min_value=0, max_value=3), max_size=6),
+    )
+    def test_injective_on_simple_tuples(self, left, right):
+        if tuple(left) != tuple(right):
+            assert state_key(tuple(left)) != state_key(tuple(right))

@@ -1,0 +1,61 @@
+"""Tests for Trace construction and formatting."""
+
+import pytest
+
+from repro.mc.trace import Trace, TraceStep
+
+
+def make_trace():
+    return Trace(
+        [
+            TraceStep(None, "s0"),
+            TraceStep("r1", "s1"),
+            TraceStep("r2", "s2"),
+        ]
+    )
+
+
+def test_length_counts_transitions():
+    assert len(make_trace()) == 2
+
+
+def test_endpoints():
+    trace = make_trace()
+    assert trace.initial_state == "s0"
+    assert trace.final_state == "s2"
+
+
+def test_rule_names():
+    assert make_trace().rule_names == ["r1", "r2"]
+
+
+def test_rejects_empty():
+    with pytest.raises(ValueError):
+        Trace([])
+
+
+def test_rejects_rule_on_first_step():
+    with pytest.raises(ValueError):
+        Trace([TraceStep("r", "s0")])
+
+
+def test_single_state_trace():
+    trace = Trace([TraceStep(None, "s0")])
+    assert len(trace) == 0
+    assert trace.final_state == "s0"
+
+
+def test_equality_and_hash():
+    assert make_trace() == make_trace()
+    assert hash(make_trace()) == hash(make_trace())
+
+
+def test_format_contains_states_and_rules():
+    text = make_trace().format()
+    assert "<initial>" in text
+    assert "r1" in text
+    assert "'s2'" in text
+
+
+def test_iteration():
+    assert [step.state for step in make_trace()] == ["s0", "s1", "s2"]

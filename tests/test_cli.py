@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVerify:
+    def test_verify_msi_success(self, capsys):
+        assert main(["verify", "msi", "--caches", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "success" in out
+        assert "msi-2c" in out
+
+    def test_verify_with_evictions(self, capsys):
+        assert main(["verify", "msi", "--caches", "2", "--evictions"]) == 0
+
+    def test_verify_dfs(self, capsys):
+        assert main(["verify", "vi", "--procs", "2", "--dfs"]) == 0
+        assert "success" in capsys.readouterr().out
+
+    def test_verify_no_symmetry(self, capsys):
+        assert main(["verify", "mutex", "--procs", "2", "--no-symmetry"]) == 0
+
+    def test_verify_truncated_is_nonzero(self, capsys):
+        assert main(["verify", "msi", "--max-states", "5"]) == 1
+        assert "unknown" in capsys.readouterr().out
+
+
+class TestSynth:
+    def test_synth_mutex(self, capsys):
+        assert main(["synth", "mutex"]) == 0
+        out = capsys.readouterr().out
+        assert "solutions:         1" in out
+
+    def test_synth_figure2(self, capsys):
+        assert main(["synth", "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "evaluated:         10" in out
+
+    def test_synth_naive(self, capsys):
+        assert main(["synth", "figure2", "--naive"]) == 0
+        out = capsys.readouterr().out
+        assert "evaluated:         24" in out
+
+    def test_synth_threads(self, capsys):
+        assert main(["synth", "mutex", "--threads", "2"]) == 0
+
+    def test_synth_groups(self, capsys):
+        assert main(["synth", "msi-tiny", "--groups"]) == 0
+        assert "behavioural group" in capsys.readouterr().out
+
+    def test_synth_solution_limit(self, capsys):
+        assert main(["synth", "msi-tiny", "--solution-limit", "1"]) == 0
+        assert "solutions:         1" in capsys.readouterr().out
+
+    def test_synth_refined(self, capsys):
+        assert main(["synth", "figure2", "--refined"]) == 0
+
+
+class TestMisc:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "msi-small" in out
+        assert "mutex" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_skeleton_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["synth", "nope"])

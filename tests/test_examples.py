@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs and prints what it promises.
+
+``table1.py`` is exercised with ``--help`` only (its full run measures the
+minute-scale MSI-small rows; the benchmark suite covers that path).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "solutions:         1" in proc.stdout
+    assert "goto_C" in proc.stdout
+
+
+def test_figure2_walkthrough():
+    proc = run_example("figure2_walkthrough.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "with pruning: 10 candidates evaluated" in proc.stdout
+    assert "naive:        24 candidates evaluated" in proc.stdout
+    assert proc.stdout.count("pruning pattern") == 5
+
+
+def test_msi_verify():
+    proc = run_example("msi_verify.py", "2")
+    assert proc.returncode == 0, proc.stderr
+    assert "with symmetry" in proc.stdout
+    assert "success" in proc.stdout
+    assert "minimal counterexample" in proc.stdout  # the injected bug
+
+
+def test_msi_synthesis_tiny():
+    proc = run_example("msi_synthesis.py", "tiny")
+    assert proc.returncode == 0, proc.stderr
+    assert "textbook completion is among the synthesised solutions" in proc.stdout
+
+
+def test_vi_synthesis():
+    proc = run_example("vi_synthesis.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "hand-written completion was rediscovered" in proc.stdout
+
+
+def test_mesi_synthesis():
+    proc = run_example("mesi_synthesis.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "unique solution = the textbook completion" in proc.stdout
+
+
+def test_table1_help():
+    proc = run_example("table1.py", "--help")
+    assert proc.returncode == 0, proc.stderr
+    assert "--large" in proc.stdout

@@ -1,0 +1,35 @@
+"""Tests for the Stopwatch helper."""
+
+import pytest
+
+from repro.util.timing import Stopwatch
+
+
+def test_started_factory_runs():
+    watch = Stopwatch.started()
+    assert watch.elapsed >= 0.0
+
+
+def test_stop_accumulates():
+    watch = Stopwatch.started()
+    first = watch.stop()
+    watch.start()
+    second = watch.stop()
+    assert second >= first
+
+
+def test_double_start_rejected():
+    watch = Stopwatch.started()
+    with pytest.raises(RuntimeError):
+        watch.start()
+
+
+def test_stop_without_start_rejected():
+    with pytest.raises(RuntimeError):
+        Stopwatch().stop()
+
+
+def test_context_manager():
+    with Stopwatch() as watch:
+        pass
+    assert watch.elapsed >= 0.0
