@@ -84,3 +84,45 @@ def table1_rows():
         sys.__stdout__.flush()
         with open("table1_output.txt", "w") as handle:
             handle.write(text)
+
+
+@pytest.fixture(scope="session")
+def dist_bench_rows():
+    """Session-collected backend-comparison rows, persisted as
+    ``BENCH_dist.json`` so future PRs can track the perf trajectory.
+
+    Each row: skeleton, backend, workers, seconds, evaluated, solutions.
+    The teardown derives ``speedup_vs_sequential`` per skeleton where a
+    sequential row exists, and records the host's CPU count — speedups on
+    single-core CI boxes are noise, and downstream consumers must be able
+    to tell.
+    """
+    rows = []
+    yield rows
+    if not rows:
+        return
+    import json
+    import sys
+
+    sequential_seconds = {
+        row["skeleton"]: row["seconds"]
+        for row in rows
+        if row["backend"] == "sequential"
+    }
+    for row in rows:
+        base = sequential_seconds.get(row["skeleton"])
+        if base and row["seconds"]:
+            row["speedup_vs_sequential"] = round(base / row["seconds"], 3)
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "caches": bench_caches(),
+        "rows": rows,
+    }
+    with open("BENCH_dist.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    sys.__stdout__.write(
+        f"\nBENCH_dist.json written ({len(rows)} rows, "
+        f"{os.cpu_count()} CPUs)\n"
+    )
+    sys.__stdout__.flush()

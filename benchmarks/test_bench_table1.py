@@ -12,7 +12,11 @@ Paper rows (i7-4800MQ, C++):
 What we reproduce by default (CPython; see DESIGN.md substitutions):
 
 * the candidate-space columns exactly (validated by construction);
-* MSI-small with pruning (1 and 4 threads), fully measured;
+* MSI-small with pruning, fully measured: 1 thread, 4 threads (an
+  *algorithmic* reproduction only — the GIL serialises the model
+  checking, so no wall-clock speedup), and 4 worker processes
+  (:mod:`repro.dist`, the backend that can actually deliver the paper's
+  speedup on a multi-core host);
 * MSI-small naive, *estimated* from a random sample of candidate checks
   (the full 231k-run baseline takes tens of CPU-minutes in CPython; set
   VERC3_BENCH_NAIVE_FULL=1 to measure it outright);
@@ -40,6 +44,7 @@ from repro.analysis.stats import estimate_naive_seconds
 from repro.analysis.tables import render_table1_row
 from repro.core import SynthesisConfig, SynthesisEngine
 from repro.core.parallel import ParallelSynthesisEngine
+from repro.dist import DistributedSynthesisEngine, SystemSpec
 from repro.protocols.msi import msi_large, msi_small, msi_tiny
 
 
@@ -81,15 +86,33 @@ class TestMsiSmall:
         assert report.reduction_vs_naive > 0.95
 
     def test_small_four_threads_pruning(self, benchmark, table1_rows):
+        """Labeled as an algorithmic reproduction: the GIL means this row's
+        wall clock is *not* expected to beat the 1-thread row."""
         report = run_once(
             benchmark,
             lambda: ParallelSynthesisEngine(
                 msi_small(bench_caches()).system, threads=4
             ).run(),
         )
-        attach_report(benchmark, report, "MSI-small 4 threads, pruning")
-        table1_rows.append(render_table1_row("MSI-small 4 threads, pruning", report))
+        label = "MSI-small 4 threads, pruning (algorithmic repro)"
+        attach_report(benchmark, report, label)
+        table1_rows.append(render_table1_row(label, report))
         assert report.solutions
+
+    def test_small_four_processes_pruning(self, benchmark, table1_rows):
+        """The repro.dist backend row: real multi-core parallelism."""
+        report = run_once(
+            benchmark,
+            lambda: DistributedSynthesisEngine(
+                SystemSpec("msi-small", bench_caches()), workers=4
+            ).run(),
+        )
+        label = "MSI-small 4 processes, pruning"
+        attach_report(benchmark, report, label)
+        table1_rows.append(render_table1_row(label, report))
+        assert report.solutions
+        if bench_caches() == 2:  # solution count depends on cache count
+            assert len(report.solutions) == 126
 
     def test_small_naive_baseline(self, benchmark, table1_rows):
         """The naive row: measured outright only with VERC3_BENCH_NAIVE_FULL=1,

@@ -4,9 +4,12 @@
 Rows and gating:
 
 * MSI-tiny rows always run (not in the paper; a fast sanity row).
-* MSI-small rows run by default: pruning x {1, 4} threads measured, the
-  naive baseline measured in full with ``--naive-full`` or estimated from
-  a random sample of candidate checks otherwise.
+* MSI-small rows run by default: pruning x {1 thread, 4 threads,
+  4 processes} measured, the naive baseline measured in full with
+  ``--naive-full`` or estimated from a random sample of candidate checks
+  otherwise.  The threads row is an algorithmic reproduction only (GIL);
+  the processes row (``repro.dist``) is the one that can show the paper's
+  wall-clock speedup on a multi-core host.
 * MSI-large rows with ``--large`` (tens of minutes in CPython).
 
 Run:  python examples/table1.py [--large] [--naive-full] [--caches N]
@@ -18,6 +21,7 @@ from repro.analysis.stats import estimate_naive_seconds, sample_candidate_cost
 from repro.analysis.tables import format_table, render_table1_row
 from repro.core import SynthesisConfig, SynthesisEngine
 from repro.core.parallel import ParallelSynthesisEngine
+from repro.dist import DistributedSynthesisEngine, SystemSpec
 from repro.protocols.msi import msi_large, msi_small, msi_tiny
 
 
@@ -29,15 +33,30 @@ def measure(system, pruning=True, threads=1):
     ).run()
 
 
-def rows_for(name, factory, caches, naive_full, rows):
+def rows_for(name, factory, catalog_name, caches, naive_full, rows):
     skeleton = factory(caches)
     print(f"[{name}] pruning, 1 thread ...", flush=True)
     pruned = measure(skeleton.system)
     rows.append(render_table1_row(f"{name} 1 thread, pruning", pruned))
 
-    print(f"[{name}] pruning, 4 threads ...", flush=True)
+    print(f"[{name}] pruning, 4 threads (GIL-bound, algorithmic repro) ...",
+          flush=True)
     parallel = measure(factory(caches).system, threads=4)
-    rows.append(render_table1_row(f"{name} 4 threads, pruning", parallel))
+    rows.append(render_table1_row(
+        f"{name} 4 threads, pruning (algorithmic repro)", parallel
+    ))
+
+    print(f"[{name}] pruning, 4 processes ...", flush=True)
+    distributed = DistributedSynthesisEngine(
+        SystemSpec(catalog_name, caches), workers=4
+    ).run()
+    if distributed.system_name != pruned.system_name:
+        raise SystemExit(
+            f"catalog name {catalog_name!r} built {distributed.system_name!r} "
+            f"but the factory built {pruned.system_name!r} — rows would "
+            f"compare different systems"
+        )
+    rows.append(render_table1_row(f"{name} 4 processes, pruning", distributed))
 
     if naive_full:
         print(f"[{name}] naive (full) ...", flush=True)
@@ -79,9 +98,11 @@ def main() -> None:
     tiny = measure(msi_tiny(args.caches).system)
     rows.append(render_table1_row("MSI-tiny 1 thread, pruning", tiny))
 
-    rows_for("MSI-small", msi_small, args.caches, args.naive_full, rows)
+    rows_for("MSI-small", msi_small, "msi-small", args.caches,
+             args.naive_full, rows)
     if args.large:
-        rows_for("MSI-large", msi_large, args.caches, args.naive_full, rows)
+        rows_for("MSI-large", msi_large, "msi-large", args.caches,
+                 args.naive_full, rows)
 
     print()
     print(format_table(rows))

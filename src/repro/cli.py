@@ -11,6 +11,7 @@ Commands:
 Examples::
 
     python -m repro verify msi --caches 3 --evictions
+    python -m repro synth msi-small --backend processes --workers 4
     python -m repro synth msi-small --threads 4
     python -m repro synth mutex --naive
 """
@@ -24,16 +25,15 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.analysis.grouping import describe_groups
 from repro.core import SynthesisConfig, SynthesisEngine
 from repro.core.parallel import ParallelSynthesisEngine
+from repro.dist import DistributedSynthesisEngine, SystemSpec
 from repro.mc.bfs import BfsExplorer, ExplorationLimits
 from repro.mc.dfs import DfsExplorer
-from repro.protocols.mesi import build_mesi_skeleton, build_mesi_system
-from repro.protocols.msi import msi_large, msi_read_tiny, msi_small, msi_tiny
+from repro.protocols.catalog import SKELETON_BUILDERS
+from repro.protocols.mesi import build_mesi_system
 from repro.protocols.msi.defs import format_state
-from repro.protocols.msi.skeleton import msi_evict
 from repro.protocols.msi.system import build_msi_system
-from repro.protocols.mutex import build_mutex_skeleton, build_mutex_system
-from repro.protocols.toy import build_figure2_skeleton
-from repro.protocols.vi import build_vi_skeleton, build_vi_system
+from repro.protocols.mutex import build_mutex_system
+from repro.protocols.vi import build_vi_system
 
 #: complete protocols: name -> builder(n, **kwargs)
 PROTOCOLS: Dict[str, Callable] = {
@@ -50,17 +50,7 @@ PROTOCOLS: Dict[str, Callable] = {
 }
 
 #: skeletons: name -> builder(n) returning a TransitionSystem
-SKELETONS: Dict[str, Callable] = {
-    "msi-tiny": lambda n: msi_tiny(n).system,
-    "msi-read-tiny": lambda n: msi_read_tiny(n).system,
-    "msi-small": lambda n: msi_small(n).system,
-    "msi-large": lambda n: msi_large(n).system,
-    "msi-evict": lambda n: msi_evict(n).system,
-    "mesi": lambda n: build_mesi_skeleton(n_caches=n)[0],
-    "vi": lambda n: build_vi_skeleton(n)[0],
-    "mutex": lambda n: build_mutex_skeleton(n)[0],
-    "figure2": lambda n: build_figure2_skeleton(),
-}
+SKELETONS: Dict[str, Callable] = SKELETON_BUILDERS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,7 +71,17 @@ def build_parser() -> argparse.ArgumentParser:
     synth = sub.add_parser("synth", help="synthesise holes in a skeleton")
     synth.add_argument("skeleton", choices=sorted(SKELETONS))
     synth.add_argument("--caches", "--procs", dest="replicas", type=int, default=2)
-    synth.add_argument("--threads", type=int, default=1)
+    synth.add_argument(
+        "--backend", choices=("sequential", "threads", "processes"), default=None,
+        help="evaluation backend; default: sequential, or threads when "
+             "--threads > 1.  'processes' is the only backend with real "
+             "multi-core wall-clock speedups (see repro.dist)",
+    )
+    synth.add_argument("--threads", type=int, default=None,
+                       help="worker threads for the threads backend "
+                            "(default: 4 with --backend threads, else 1)")
+    synth.add_argument("--workers", type=int, default=4,
+                       help="worker processes for the processes backend")
     synth.add_argument("--naive", action="store_true", help="disable pruning")
     synth.add_argument("--refined", action="store_true",
                        help="refined trace-based pruning patterns")
@@ -110,7 +110,6 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
-    system = SKELETONS[args.skeleton](args.replicas)
     config = SynthesisConfig(
         pruning=not args.naive,
         refined_patterns=args.refined,
@@ -118,9 +117,22 @@ def cmd_synth(args: argparse.Namespace) -> int:
         max_evaluations=args.max_evaluations,
         compute_fingerprints=args.groups,
     )
-    if args.threads > 1:
-        report = ParallelSynthesisEngine(system, config, threads=args.threads).run()
+    backend = args.backend
+    if backend is None:
+        backend = "threads" if (args.threads or 1) > 1 else "sequential"
+    if backend == "processes":
+        report = DistributedSynthesisEngine(
+            SystemSpec(args.skeleton, args.replicas), config,
+            workers=args.workers,
+        ).run()
+    elif backend == "threads":
+        system = SKELETONS[args.skeleton](args.replicas)
+        report = ParallelSynthesisEngine(
+            system, config,
+            threads=args.threads if args.threads is not None else 4,
+        ).run()
     else:
+        system = SKELETONS[args.skeleton](args.replicas)
         report = SynthesisEngine(system, config).run()
     print(report.summary())
     if args.groups:

@@ -61,6 +61,17 @@ class HoleRegistry:
         with self._lock:
             return tuple(self._holes)
 
+    def names(self) -> Tuple[str, ...]:
+        """Hole names in discovery order.
+
+        Names are the cross-process correlation key of the distributed
+        backend: hole *objects* are identity-compared and process-local,
+        so a worker's rebuilt holes map onto the coordinator's canonical
+        positions by name (see :class:`repro.dist.worker.WorkerHoleRegistry`).
+        """
+        with self._lock:
+            return tuple(hole.name for hole in self._holes)
+
     def hole_named(self, name: str) -> Hole:
         hole = self._names.get(name)
         if hole is None:

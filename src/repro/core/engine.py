@@ -24,6 +24,7 @@ detected arithmetically), and no patterns are kept.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -84,6 +85,17 @@ class SynthesisConfig:
     compute_fingerprints: bool = False
     record_traces: bool = True
 
+    def __post_init__(self) -> None:
+        for knob in ("solution_limit", "max_evaluations", "max_passes"):
+            value = getattr(self, knob)
+            if value is not None and value < 0:
+                raise SynthesisError(f"{knob} must be non-negative, got {value}")
+        if self.default_action_index < 0:
+            raise SynthesisError(
+                f"default_action_index must be non-negative, "
+                f"got {self.default_action_index}"
+            )
+
 
 class SynthesisObserver:
     """Override any subset of these no-op callbacks to watch a run.
@@ -126,15 +138,17 @@ class SynthesisCore:
         system: TransitionSystem,
         config: SynthesisConfig,
         observer: Optional[SynthesisObserver] = None,
+        registry: Optional[HoleRegistry] = None,
     ) -> None:
         self.system = system
         self.config = config
         self.observer = observer or SynthesisObserver()
-        self.registry = HoleRegistry()
+        self.registry = registry if registry is not None else HoleRegistry()
         self.fail_table = PruningTable(subsumption=config.subsumption)
         self.success_table = PruningTable(subsumption=config.subsumption)
         self.solutions: List[Solution] = []
         self.evaluated = 0
+        self.deduplicated = 0
         self.verdict_counts: Dict[str, int] = {"success": 0, "failure": 0, "unknown": 0}
         self.inherent_failure = False
         self.inherent_failure_message = ""
@@ -158,6 +172,67 @@ class SynthesisCore:
             track_hole_paths=self.config.refined_patterns,
         )
         return explorer.run(), explorer
+
+    def run_initial(self) -> None:
+        """Run 1 of the paper: the empty candidate discovers the first holes.
+
+        In naive mode the initial run *is* the all-defaults candidate; it is
+        counted once here and deduplicated in later passes.
+        """
+        result, explorer = self.evaluate(CandidateVector.empty())
+        self.evaluated += 1
+        self.handle_result((), result, explorer, run_index=self.evaluated)
+
+    def process_candidate(
+        self,
+        walker: "_PassWalker",
+        digits: Tuple[int, ...],
+        first_new: int,
+        lock: Optional["threading.Lock"] = None,
+    ) -> None:
+        """Dispatch one enumerated candidate: dedup, prune, or model check.
+
+        This is the single verdict-handling path shared by the sequential
+        engine, the thread workers, and the process workers (``repro.dist``).
+        With ``lock=None`` the evaluation budget is checked *before* the
+        model-checker run (sequential semantics); with a lock the check
+        happens under the lock after the run, preserving the thread engine's
+        historical counting.
+        """
+        guard = lock if lock is not None else nullcontext()
+        if not self.config.pruning and self.all_defaults_since(digits, first_new):
+            with guard:
+                self.deduplicated += 1
+            walker.counters.yielded -= 1
+            return
+        tag = walker.recheck_at_leaf()
+        if tag is not None:
+            walker.enumerator.note_leaf_skipped(tag)
+            with guard:
+                self.observer.on_prune(digits, tag)
+            return
+        if lock is None:
+            self.check_evaluation_budget()
+        result, explorer = self.evaluate(CandidateVector.from_digits(digits))
+        with guard:
+            if lock is not None:
+                self.check_evaluation_budget()
+            self.evaluated += 1
+            self.handle_result(digits, result, explorer, run_index=self.evaluated)
+
+    def finalize_report(self, report: "SynthesisReport") -> "SynthesisReport":
+        """Copy the aggregate outcome into ``report`` (shared by all engines)."""
+        report.holes = list(self.registry.holes)
+        report.evaluated = self.evaluated
+        report.deduplicated = self.deduplicated
+        report.verdict_counts = dict(self.verdict_counts)
+        report.failure_patterns = len(self.fail_table)
+        report.success_patterns = len(self.success_table)
+        report.solutions = list(self.solutions)
+        report.inherent_failure = self.inherent_failure
+        report.inherent_failure_message = self.inherent_failure_message
+        report.stopped_early = self.stopped_early
+        return report
 
     def handle_result(
         self,
@@ -325,33 +400,16 @@ class SynthesisEngine:
             system_name=self.system.name,
             pruning=config.pruning,
             threads=1,
+            backend="sequential",
         )
         watch = Stopwatch.started()
         try:
-            self._run_initial(report)
+            core.run_initial()
             self._run_passes(report)
         except _StopSynthesis:
             pass
         report.elapsed_seconds = watch.elapsed
-        report.holes = list(core.registry.holes)
-        report.evaluated = core.evaluated
-        report.verdict_counts = dict(core.verdict_counts)
-        report.failure_patterns = len(core.fail_table)
-        report.success_patterns = len(core.success_table)
-        report.solutions = list(core.solutions)
-        report.inherent_failure = core.inherent_failure
-        report.inherent_failure_message = core.inherent_failure_message
-        report.stopped_early = core.stopped_early
-        return report
-
-    def _run_initial(self, report: SynthesisReport) -> None:
-        """Run 1 of the paper: the empty candidate discovers the first holes."""
-        core = self.core
-        # In naive mode the initial run *is* the all-defaults candidate; it
-        # is counted once here and deduplicated in later passes.
-        result, explorer = core.evaluate(CandidateVector.empty())
-        core.evaluated += 1
-        core.handle_result((), result, explorer, run_index=core.evaluated)
+        return core.finalize_report(report)
 
     def _run_passes(self, report: SynthesisReport) -> None:
         core = self.core
@@ -382,16 +440,4 @@ class SynthesisEngine:
                    report: SynthesisReport) -> None:
         core = self.core
         for digits in walker.enumerator:
-            if not self.config.pruning and core.all_defaults_since(digits, first_new):
-                report.deduplicated += 1
-                walker.counters.yielded -= 1
-                continue
-            tag = walker.recheck_at_leaf()
-            if tag is not None:
-                walker.enumerator.note_leaf_skipped(tag)
-                core.observer.on_prune(digits, tag)
-                continue
-            core.check_evaluation_budget()
-            result, explorer = core.evaluate(CandidateVector.from_digits(digits))
-            core.evaluated += 1
-            core.handle_result(digits, result, explorer, run_index=core.evaluated)
+            core.process_candidate(walker, digits, first_new)

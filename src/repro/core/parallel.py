@@ -15,11 +15,16 @@ worker thread.  Exactly as in the paper:
 * when all workers finish the current pass, the global vector provides the
   next pass's (larger) candidate space.
 
-Substitution note (DESIGN.md): the paper uses C++ threads and reports 1.5x
-(MSI-small) / 2.5x (MSI-large) wall-clock speedups at 4 threads.  CPython's
-GIL serialises our pure-Python model checking, so wall-clock gains here are
-limited; the algorithmic effects (work splitting, shared-pattern savings,
-evaluated-candidate counts) are reproduced faithfully and benchmarked.
+**This backend is an algorithmic reproduction only.**  The paper uses C++
+threads and reports 1.5x (MSI-small) / 2.5x (MSI-large) wall-clock speedups
+at 4 threads; CPython's GIL serialises our pure-Python model checking, so
+this thread backend reproduces the algorithmic effects (work splitting,
+shared-pattern savings, evaluated-candidate counts) but *not* the wall-clock
+speedups — at 4 threads it is typically no faster than sequential.  For real
+multi-core speedups use the process backend
+(:class:`repro.dist.DistributedSynthesisEngine`, CLI
+``--backend processes``), which shards candidate batches across worker
+processes and exchanges pruning patterns at batch boundaries.
 """
 
 from __future__ import annotations
@@ -27,7 +32,6 @@ from __future__ import annotations
 import threading
 from typing import List, Optional
 
-from repro.core.candidate import CandidateVector
 from repro.core.engine import (
     FAIL_TAG,
     SUCCESS_TAG,
@@ -68,31 +72,17 @@ class ParallelSynthesisEngine:
             system_name=self.system.name,
             pruning=self.config.pruning,
             threads=self.threads,
+            backend="threads",
         )
         watch = Stopwatch.started()
         try:
-            self._run_initial()
+            core.run_initial()
         except _StopSynthesis:
             self._stop.set()
         if not self._stop.is_set():
             self._run_passes(report)
         report.elapsed_seconds = watch.elapsed
-        report.holes = list(core.registry.holes)
-        report.evaluated = core.evaluated
-        report.verdict_counts = dict(core.verdict_counts)
-        report.failure_patterns = len(core.fail_table)
-        report.success_patterns = len(core.success_table)
-        report.solutions = list(core.solutions)
-        report.inherent_failure = core.inherent_failure
-        report.inherent_failure_message = core.inherent_failure_message
-        report.stopped_early = core.stopped_early
-        return report
-
-    def _run_initial(self) -> None:
-        core = self.core
-        result, explorer = core.evaluate(CandidateVector.empty())
-        core.evaluated += 1
-        core.handle_result((), result, explorer, run_index=core.evaluated)
+        return core.finalize_report(report)
 
     def _run_passes(self, report: SynthesisReport) -> None:
         core = self.core
@@ -145,22 +135,7 @@ class ParallelSynthesisEngine:
             for digits in walker.enumerator:
                 if self._stop.is_set():
                     raise _StopSynthesis()
-                if not self.config.pruning and core.all_defaults_since(digits, first_new):
-                    with self._lock:
-                        report.deduplicated += 1
-                    walker.counters.yielded -= 1
-                    continue
-                tag = walker.recheck_at_leaf()
-                if tag is not None:
-                    walker.enumerator.note_leaf_skipped(tag)
-                    with self._lock:
-                        core.observer.on_prune(digits, tag)
-                    continue
-                result, explorer = core.evaluate(CandidateVector.from_digits(digits))
-                with self._lock:
-                    core.check_evaluation_budget()
-                    core.evaluated += 1
-                    core.handle_result(digits, result, explorer, run_index=core.evaluated)
+                core.process_candidate(walker, digits, first_new, lock=self._lock)
         finally:
             counters = walker.counters
             with self._lock:

@@ -138,6 +138,18 @@ class PruningTable:
         with self._lock:
             return self._patterns[version:]
 
+    def constraints_since(
+        self, version: int = 0
+    ) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+        """Wire form of :meth:`patterns_since`: bare constraint tuples.
+
+        The distributed backend ships these across process boundaries
+        (coordinator snapshots/deltas out, worker discoveries back) instead
+        of pickling pattern objects.
+        """
+        with self._lock:
+            return tuple(pattern.constraints for pattern in self._patterns[version:])
+
     def all_patterns(self) -> List[PruningPattern]:
         with self._lock:
             return list(self._patterns)

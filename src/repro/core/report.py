@@ -60,6 +60,9 @@ class SynthesisReport:
     system_name: str
     pruning: bool
     threads: int
+    #: evaluation backend that produced this report; ``threads`` counts
+    #: workers of whichever kind (threads or processes) the backend uses.
+    backend: str = "sequential"
     holes: List[Hole] = field(default_factory=list)
     passes: int = 0
     evaluated: int = 0
@@ -133,7 +136,7 @@ class SynthesisReport:
         lines = [
             f"system:            {self.system_name}",
             f"mode:              {'pruning' if self.pruning else 'naive'}"
-            f", {self.threads} thread(s)",
+            f", {self.backend} backend, {self.threads} worker(s)",
             f"holes discovered:  {self.hole_count}"
             f" ({', '.join(h.name for h in self.holes)})",
             f"candidate space:   {self.naive_candidate_space:,}"

@@ -1,0 +1,28 @@
+"""Process-parallel distributed synthesis (the ``processes`` backend).
+
+The thread backend (:mod:`repro.core.parallel`) reproduces the paper's
+parallel *algorithm* but is GIL-bound in CPython; this package delivers the
+actual wall-clock speedups by sharding candidate evaluation across worker
+*processes*:
+
+* :mod:`repro.dist.coordinator` — batch scheduler, pattern rebroadcast,
+  deterministic result aggregation;
+* :mod:`repro.dist.worker` — per-process evaluation loop sharing the
+  sequential engine's verdict path;
+* :mod:`repro.dist.messages` — the compact picklable wire protocol.
+
+Quickstart::
+
+    from repro.dist import DistributedSynthesisEngine, SystemSpec
+
+    report = DistributedSynthesisEngine(SystemSpec("msi-small"), workers=4).run()
+"""
+
+from repro.dist.coordinator import DistributedSynthesisEngine, plan_batches
+from repro.dist.messages import SystemSpec
+
+__all__ = [
+    "DistributedSynthesisEngine",
+    "SystemSpec",
+    "plan_batches",
+]

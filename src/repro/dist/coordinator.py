@@ -1,0 +1,461 @@
+"""Coordinator side of distributed synthesis.
+
+:class:`DistributedSynthesisEngine` is the process backend: it shards each
+enumeration pass's candidate index space into batches, dispatches them to a
+pool of worker processes, and merges the returned deltas into the
+authoritative :class:`~repro.core.engine.SynthesisCore`.  Unlike the
+thread backend (GIL-bound, algorithmic reproduction only), worker
+processes model check truly concurrently, which is what recovers the
+paper's multi-worker wall-clock speedups on multi-core hosts.
+
+Design points:
+
+* **Batching beats static splitting.**  Each pass is cut into roughly
+  ``workers x batches_per_worker`` contiguous index ranges; a worker gets
+  a new batch the moment it returns one, so an unlucky worker stuck on
+  expensive candidates doesn't idle the rest (the thread backend's static
+  split suffers exactly that).
+* **Pattern exchange at batch boundaries.**  Newly accepted pruning
+  patterns ride along with the next batch sent to each worker, tracked by
+  per-worker version watermarks, so every worker prunes with (slightly
+  stale) global knowledge.  Evaluated-candidate counts therefore vary
+  slightly run to run, exactly like the paper's 855-vs-825 threads column;
+  solutions do not.
+* **Deterministic aggregation.**  Solutions and newly discovered holes
+  are buffered per batch and merged in batch index order at the pass
+  boundary, so the reported solution order and the canonical hole order
+  are independent of batch *completion* order.  (Pattern-arrival timing
+  can still, in principle, decide whether a discovery-bearing candidate
+  is evaluated or pruned, so hole order is reproducible only as far as
+  skeletons discover their holes robustly — the bundled ones do, which
+  the backend-equivalence tests pin down.)
+* **Coordinator owns stop conditions.**  Workers run with the solution
+  limit and global evaluation cap stripped; the coordinator stops
+  dispatching when a merged limit trips, drains in-flight batches, and
+  truncates deterministically.  The solution limit is exact (excess
+  solutions are dropped before the observer sees them);
+  ``max_evaluations`` is a *safety net*, enforced coarsely — each
+  in-flight batch is granted the budget remaining at dispatch time, so
+  the cap can overshoot by what the ``workers x max_inflight`` in-flight
+  batches evaluate before the first trip reaches the coordinator.
+  Splitting the grant instead would either idle workers or silently skip
+  parts of a batch's range, both worse trades for a safety net.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+from collections import deque
+from dataclasses import replace
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro.core.engine import (
+    FAIL_TAG,
+    SUCCESS_TAG,
+    SynthesisConfig,
+    SynthesisCore,
+    SynthesisObserver,
+    _StopSynthesis,
+)
+from repro.core.pruning import PruningPattern
+from repro.core.report import SynthesisReport
+from repro.dist.messages import (
+    BatchResult,
+    BatchTask,
+    HoleSpec,
+    PassStart,
+    Shutdown,
+    SystemSpec,
+    WorkerCrash,
+)
+from repro.dist.worker import worker_main
+from repro.errors import SynthesisError
+from repro.util.itertools2 import product_size
+from repro.util.timing import Stopwatch
+
+#: Safety net: a worker silent for this long with no live process is fatal.
+_RESULT_POLL_SECONDS = 1.0
+
+
+def plan_batches(
+    total: int,
+    workers: int,
+    batches_per_worker: int = 4,
+    min_batch_size: int = 16,
+) -> List[Tuple[int, int]]:
+    """Cut ``range(total)`` into contiguous dispatch batches.
+
+    The heuristic balances two pressures: more batches mean better load
+    balance and more frequent cross-worker pattern exchange; fewer batches
+    mean less IPC and fewer matcher rebuilds.  ``workers x
+    batches_per_worker`` batches of at least ``min_batch_size`` indices
+    each is a good middle ground (pruned subtrees make index ranges cheap
+    to cover, so the floor only matters for tiny passes).
+    """
+    if total <= 0:
+        return []
+    target = max(1, workers * batches_per_worker)
+    size = max(min_batch_size, -(-total // target))
+    return [(start, min(start + size, total)) for start in range(0, total, size)]
+
+
+class DistributedSynthesisEngine:
+    """Process-parallel synthesis driver (the ``processes`` backend).
+
+    Args:
+        spec: a :class:`SystemSpec` (or bare catalog name) identifying the
+            skeleton.  A spec — not a built system — is required because
+            worker processes rebuild the system locally; see
+            :mod:`repro.protocols.catalog`.
+        config: synthesis knobs, shared verbatim with workers (minus
+            global stop conditions, which the coordinator enforces).
+        workers: number of worker processes (defaults to 4, the paper's
+            testbed width).
+        observer: coordinator-side observer.  ``on_prune``/``on_run`` fire
+            only for the initial run (per-candidate events happen inside
+            workers); pass, pattern, and solution callbacks fire normally.
+        batches_per_worker / min_batch_size: chunking heuristic, see
+            :func:`plan_batches`.
+        max_inflight: batches queued per worker before the first result
+            returns (2 hides dispatch latency without hoarding work).
+        start_method: multiprocessing start method; defaults to ``fork``
+            where available (cheap on Linux) else ``spawn``.
+    """
+
+    def __init__(
+        self,
+        spec: Union[SystemSpec, str],
+        config: Optional[SynthesisConfig] = None,
+        workers: int = 4,
+        observer: Optional[SynthesisObserver] = None,
+        batches_per_worker: int = 4,
+        min_batch_size: int = 16,
+        max_inflight: int = 2,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if isinstance(spec, str):
+            spec = SystemSpec(spec)
+        if not isinstance(spec, SystemSpec):
+            raise SynthesisError(
+                "DistributedSynthesisEngine needs a SystemSpec (or catalog "
+                "name), not a built TransitionSystem: worker processes must "
+                "rebuild the system from its spec"
+            )
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.spec = spec
+        self.system = spec.build()
+        self.config = config or SynthesisConfig()
+        self.workers = workers
+        self.batches_per_worker = batches_per_worker
+        self.min_batch_size = min_batch_size
+        self.max_inflight = max_inflight
+        if start_method is None:
+            start_method = os.environ.get("REPRO_DIST_START_METHOD")
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self._start_method = start_method
+        self.core = SynthesisCore(self.system, self.config, observer)
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        self._task_queues: List = []
+        self._results = None
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        if self._processes:
+            return
+        ctx = multiprocessing.get_context(self._start_method)
+        self._results = ctx.Queue()
+        for worker_id in range(self.workers):
+            tasks = ctx.Queue()
+            process = ctx.Process(
+                target=worker_main,
+                args=(worker_id, self.spec, self.config, tasks, self._results),
+                name=f"repro-dist-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            self._task_queues.append(tasks)
+            self._processes.append(process)
+
+    def _shutdown_workers(self) -> None:
+        for tasks in self._task_queues:
+            try:
+                tasks.put(Shutdown())
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1)
+        if self._results is not None:
+            self._results.cancel_join_thread()
+        for tasks in self._task_queues:
+            tasks.cancel_join_thread()
+        self._processes = []
+        self._task_queues = []
+        self._results = None
+
+    def _next_result(
+        self, inflight: Dict[int, int]
+    ) -> Union[BatchResult, WorkerCrash]:
+        """Next batch result, watching for hard-killed busy workers.
+
+        A worker that dies *with batches in flight* would hang the drain
+        loop forever; a dead idle worker is tolerated until dispatch next
+        needs it (its queued Shutdown is moot).  Crashes with a traceback
+        arrive as ordinary :class:`WorkerCrash` messages, not here.
+        """
+        while True:
+            try:
+                return self._results.get(timeout=_RESULT_POLL_SECONDS)
+            except queue_module.Empty:
+                dead_busy = [
+                    process.name
+                    for worker_id, process in enumerate(self._processes)
+                    if inflight.get(worker_id, 0) and not process.is_alive()
+                ]
+                if dead_busy:
+                    # Drain a possible dying message before giving up.
+                    try:
+                        return self._results.get(timeout=_RESULT_POLL_SECONDS)
+                    except queue_module.Empty:
+                        raise SynthesisError(
+                            f"worker process(es) died mid-batch: "
+                            f"{', '.join(dead_busy)}"
+                        ) from None
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self) -> SynthesisReport:
+        core = self.core
+        report = SynthesisReport(
+            system_name=self.system.name,
+            pruning=self.config.pruning,
+            threads=self.workers,
+            backend="processes",
+        )
+        watch = Stopwatch.started()
+        try:
+            core.run_initial()
+            self._run_passes(report)
+        except _StopSynthesis:
+            pass
+        finally:
+            self._shutdown_workers()
+        report.elapsed_seconds = watch.elapsed
+        return core.finalize_report(report)
+
+    def _run_passes(self, report: SynthesisReport) -> None:
+        core = self.core
+        previous_count = 0
+        while True:
+            holes = core.registry.holes
+            if len(holes) == previous_count:
+                break
+            if (
+                self.config.max_passes is not None
+                and report.passes >= self.config.max_passes
+            ):
+                core.stopped_early = True
+                break
+            first_new = previous_count
+            previous_count = len(holes)
+            report.passes += 1
+            core.observer.on_pass_started(report.passes, holes)
+            self._run_pass(report, holes, first_new)
+
+    def _run_pass(self, report: SynthesisReport, holes, first_new: int) -> None:
+        core = self.core
+        config = self.config
+        radices = [hole.arity for hole in holes]
+        total = product_size(radices)
+        batches = plan_batches(
+            total, self.workers, self.batches_per_worker, self.min_batch_size
+        )
+        self._ensure_workers()
+
+        pass_start = PassStart(
+            pass_index=report.passes,
+            first_new=first_new,
+            hole_specs=tuple(HoleSpec.from_hole(hole) for hole in holes),
+            fail_patterns=core.fail_table.constraints_since(),
+            success_patterns=core.success_table.constraints_since(),
+        )
+        watermarks: Dict[int, Tuple[int, int]] = {}
+        for worker_id, tasks in enumerate(self._task_queues):
+            tasks.put(pass_start)
+            watermarks[worker_id] = (
+                core.fail_table.version,
+                core.success_table.version,
+            )
+
+        pending: Deque[Tuple[int, int]] = deque(batches)
+        outstanding = 0
+        inflight: Dict[int, int] = {}
+        next_batch_id = 0
+        pass_base_evaluated = core.evaluated
+        solutions_by_batch: Dict[int, Tuple] = {}
+        holes_by_batch: Dict[int, Tuple[HoleSpec, ...]] = {}
+        evaluated_by_batch: Dict[int, int] = {}
+        stop_dispatch = False
+        budget_tripped = False
+
+        def merged_solution_count() -> int:
+            buffered = sum(len(sols) for sols in solutions_by_batch.values())
+            return len(core.solutions) + buffered
+
+        def dispatch(worker_id: int) -> None:
+            nonlocal outstanding, next_batch_id
+            if stop_dispatch or not pending:
+                return
+            start, end = pending.popleft()
+            fail_seen, success_seen = watermarks[worker_id]
+            budget = None
+            if config.max_evaluations is not None:
+                budget = max(0, config.max_evaluations - core.evaluated)
+            task = BatchTask(
+                batch_id=next_batch_id,
+                start=start,
+                end=end,
+                fail_delta=core.fail_table.constraints_since(fail_seen),
+                success_delta=core.success_table.constraints_since(success_seen),
+                eval_budget=budget,
+            )
+            next_batch_id += 1
+            watermarks[worker_id] = (
+                core.fail_table.version,
+                core.success_table.version,
+            )
+            self._task_queues[worker_id].put(task)
+            outstanding += 1
+            inflight[worker_id] = inflight.get(worker_id, 0) + 1
+
+        for worker_id in range(len(self._task_queues)):
+            for _ in range(self.max_inflight):
+                dispatch(worker_id)
+
+        while outstanding:
+            result = self._next_result(inflight)
+            outstanding -= 1
+            if isinstance(result, WorkerCrash):
+                raise SynthesisError(
+                    f"distributed worker {result.worker_id} crashed:\n"
+                    f"{result.traceback_text}"
+                )
+            inflight[result.worker_id] -= 1
+            self._merge_batch(report, result, holes)
+            solutions_by_batch[result.start] = result.solutions
+            holes_by_batch[result.start] = result.new_holes
+            evaluated_by_batch[result.start] = result.evaluated
+            if result.inherent_failure:
+                core.inherent_failure = True
+                core.inherent_failure_message = result.inherent_failure_message
+                stop_dispatch = True
+            if result.budget_exhausted:
+                budget_tripped = True
+                stop_dispatch = True
+            if (
+                config.max_evaluations is not None
+                and core.evaluated >= config.max_evaluations
+            ):
+                budget_tripped = True
+                stop_dispatch = True
+            if (
+                config.solution_limit is not None
+                and merged_solution_count() >= config.solution_limit
+            ):
+                stop_dispatch = True
+            if not stop_dispatch:
+                dispatch(result.worker_id)
+
+        self._merge_pass_end(
+            holes,
+            pass_base_evaluated,
+            solutions_by_batch,
+            holes_by_batch,
+            evaluated_by_batch,
+        )
+
+        if core.inherent_failure:
+            raise _StopSynthesis()
+        if (
+            config.solution_limit is not None
+            and len(core.solutions) >= config.solution_limit
+        ):
+            del core.solutions[config.solution_limit:]
+            core.stopped_early = True
+            raise _StopSynthesis()
+        if budget_tripped:
+            core.stopped_early = True
+            raise _StopSynthesis()
+        if pending:
+            # Dispatch stopped early but no terminal condition fired on
+            # merge: treat as an early stop rather than silently undercover.
+            core.stopped_early = True
+            raise _StopSynthesis()
+
+    # -- merging ------------------------------------------------------------
+
+    def _merge_batch(self, report: SynthesisReport, result: BatchResult,
+                     holes) -> None:
+        core = self.core
+        report.covered += result.covered
+        report.pruned_failure += result.skipped.get(FAIL_TAG, 0)
+        report.skipped_success += result.skipped.get(SUCCESS_TAG, 0)
+        core.evaluated += result.evaluated
+        core.deduplicated += result.deduplicated
+        for verdict, count in result.verdict_counts.items():
+            core.verdict_counts[verdict] = (
+                core.verdict_counts.get(verdict, 0) + count
+            )
+        for constraints in result.new_fail_patterns:
+            pattern = PruningPattern(constraints)
+            if core.fail_table.add(pattern):
+                core.observer.on_pattern(pattern, holes)
+        for constraints in result.new_success_patterns:
+            core.success_table.add(PruningPattern(constraints))
+
+    def _merge_pass_end(
+        self,
+        holes,
+        pass_base_evaluated: int,
+        solutions_by_batch: Dict[int, Tuple],
+        holes_by_batch: Dict[int, Tuple[HoleSpec, ...]],
+        evaluated_by_batch: Dict[int, int],
+    ) -> None:
+        """Fold buffered per-batch results in batch index order.
+
+        Sorting by batch start index makes solution order, run indices,
+        and the canonical hole order independent of completion order —
+        the deterministic-aggregation half of the design.
+        """
+        core = self.core
+        limit = self.config.solution_limit
+        run_base = pass_base_evaluated
+        for start in sorted(evaluated_by_batch):
+            for solution in solutions_by_batch.get(start, ()):
+                if limit is not None and len(core.solutions) >= limit:
+                    break  # excess solutions are dropped, never observed
+                rebased = replace(
+                    solution, run_index=run_base + solution.run_index
+                )
+                core.solutions.append(rebased)
+                core.observer.on_solution(rebased, holes)
+            run_base += evaluated_by_batch[start]
+        known_names = set(core.registry.names())
+        for start in sorted(holes_by_batch):
+            for spec in holes_by_batch[start]:
+                if spec.name in known_names:
+                    continue
+                core.registry.position_of(spec.placeholder(), register=True)
+                known_names.add(spec.name)
+

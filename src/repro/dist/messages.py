@@ -1,0 +1,150 @@
+"""Wire types of the distributed synthesis protocol.
+
+The coordinator (:mod:`repro.dist.coordinator`) and the worker processes
+(:mod:`repro.dist.worker`) exchange only compact, picklable values:
+
+* **system specs** — a :class:`SystemSpec` names a skeleton in the protocol
+  catalog; workers *rebuild* the transition system locally because rule
+  bodies are closures and cannot cross a process boundary;
+* **hole specs** — a :class:`HoleSpec` is (name, ordered action names);
+  hole *objects* are identity-compared and process-local, so positions are
+  correlated across processes by name (see
+  :class:`~repro.dist.worker.WorkerHoleRegistry`);
+* **pattern digits** — pruning patterns travel as their constraint tuples
+  ``((position, action_index), ...)``;
+* **verdict counters and solutions** — per-batch deltas the coordinator
+  merges into the authoritative :class:`~repro.core.engine.SynthesisCore`.
+
+Message flow, per enumeration pass::
+
+    coordinator                         worker (xN)
+    -----------                         -----------
+    PassStart(holes, pattern snapshot) ->  reset pass-local core
+    BatchTask(range, pattern deltas)   ->  walk range, model check
+                                      <-   BatchResult(deltas)
+    ... until the pass's batches drain; new holes merge at the pass
+    boundary, new patterns merge (and rebroadcast) at batch boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.hole import Hole
+from repro.core.action import Action
+from repro.core.report import Solution
+from repro.mc.system import TransitionSystem
+from repro.protocols.catalog import build_skeleton
+
+#: A pruning pattern on the wire: its sorted (position, action) constraints.
+Constraints = Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A rebuildable reference to a skeleton: catalog name + replica count."""
+
+    name: str
+    replicas: int = 2
+
+    def build(self) -> TransitionSystem:
+        return build_skeleton(self.name, self.replicas)
+
+
+@dataclass(frozen=True)
+class HoleSpec:
+    """A hole as (name, ordered action names) — enough to correlate
+    positions across processes and to render solution assignments."""
+
+    name: str
+    actions: Tuple[str, ...]
+
+    @classmethod
+    def from_hole(cls, hole: Hole) -> "HoleSpec":
+        return cls(hole.name, tuple(action.name for action in hole.domain))
+
+    def placeholder(self) -> Hole:
+        """A stand-in Hole carrying the right name/arity/action names.
+
+        Placeholders live in registries that never resolve them against a
+        rule body (the coordinator's, and reserved-but-not-yet-encountered
+        slots in a worker's), so the actions carry no callables.
+        """
+        return Hole(self.name, tuple(Action(name) for name in self.actions))
+
+    @property
+    def arity(self) -> int:
+        return len(self.actions)
+
+
+@dataclass(frozen=True)
+class PassStart:
+    """Reset a worker for one enumeration pass.
+
+    Carries the canonical hole order (the pass enumerates over the prefix
+    ``hole_specs``, first-discovered hole most significant) and a full
+    snapshot of both pattern tables.
+    """
+
+    pass_index: int
+    first_new: int
+    hole_specs: Tuple[HoleSpec, ...]
+    fail_patterns: Tuple[Constraints, ...]
+    success_patterns: Tuple[Constraints, ...]
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One contiguous slice of the pass's candidate index space.
+
+    ``fail_delta``/``success_delta`` are the patterns the coordinator
+    accepted since it last wrote to this worker — the cross-worker pruning
+    exchange.  ``eval_budget`` caps model-checker runs within the batch
+    (global ``max_evaluations`` minus runs already merged).
+    """
+
+    batch_id: int
+    start: int
+    end: int
+    fail_delta: Tuple[Constraints, ...] = ()
+    success_delta: Tuple[Constraints, ...] = ()
+    eval_budget: Optional[int] = None
+
+
+@dataclass
+class BatchResult:
+    """Everything one batch produced, as mergeable deltas."""
+
+    worker_id: int
+    batch_id: int
+    start: int
+    end: int
+    covered: int = 0
+    evaluated: int = 0
+    deduplicated: int = 0
+    #: tag -> candidates skipped (analytically or at a leaf) in this batch
+    skipped: Dict[str, int] = field(default_factory=dict)
+    verdict_counts: Dict[str, int] = field(default_factory=dict)
+    new_fail_patterns: Tuple[Constraints, ...] = ()
+    new_success_patterns: Tuple[Constraints, ...] = ()
+    #: holes first encountered in this batch, in local discovery order
+    new_holes: Tuple[HoleSpec, ...] = ()
+    #: run_index is 1-based *within this batch* (coordinator rebases)
+    solutions: Tuple[Solution, ...] = ()
+    budget_exhausted: bool = False
+    inherent_failure: bool = False
+    inherent_failure_message: str = ""
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Terminate the worker loop."""
+
+
+@dataclass
+class WorkerCrash:
+    """A worker's last words: the formatted traceback of a fatal error."""
+
+    worker_id: int
+    traceback_text: str

@@ -1,0 +1,217 @@
+"""Worker side of distributed synthesis.
+
+A worker process rebuilds the skeleton from its :class:`SystemSpec`, then
+serves one :class:`BatchTask` at a time: walk the assigned candidate-index
+range with the same subtree-skipping enumerator and the same
+:meth:`~repro.core.engine.SynthesisCore.process_candidate` verdict path as
+the sequential engine, against a pass-local :class:`SynthesisCore` seeded
+from the coordinator's pattern snapshot.  Whatever the batch produced —
+new pruning patterns, new holes, solutions, counters — is shipped back as
+a compact delta (:class:`BatchResult`).
+
+Hole identity across processes
+------------------------------
+
+Hole objects are compared by identity and discovered lazily during model
+checking, so a worker's locally rebuilt hole objects are *different
+objects* from the coordinator's.  :class:`WorkerHoleRegistry` bridges the
+gap: canonical holes (broadcast as :class:`HoleSpec` name/arity pairs in
+:class:`PassStart`) are *reserved* position-by-position as placeholders,
+and the first time the model checker encounters the worker's real hole of
+the same name it is bound to the reserved position.  Holes beyond the
+canonical prefix append in local discovery order and are reported back;
+the coordinator merges them in batch order at the pass boundary.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import replace
+from typing import Optional, Sequence, Tuple
+
+from repro.core.engine import (
+    SynthesisConfig,
+    SynthesisCore,
+    _PassWalker,
+    _StopSynthesis,
+)
+from repro.core.discovery import HoleRegistry
+from repro.core.hole import Hole
+from repro.core.pruning import PruningPattern
+from repro.dist.messages import (
+    BatchResult,
+    BatchTask,
+    HoleSpec,
+    PassStart,
+    Shutdown,
+    SystemSpec,
+    WorkerCrash,
+)
+from repro.errors import SynthesisError
+from repro.mc.system import TransitionSystem
+
+
+class WorkerHoleRegistry(HoleRegistry):
+    """A hole registry whose leading positions are reserved by name.
+
+    Reserved positions hold placeholder holes until the model checker
+    encounters the corresponding real (process-local) hole object, which
+    is then bound to the reserved position by name.  Unreserved holes
+    append after the canonical prefix, exactly like the base registry.
+    """
+
+    def __init__(self, specs: Sequence[HoleSpec] = ()) -> None:
+        super().__init__()
+        #: name -> the real (model-checker-encountered) hole bound to it;
+        #: binding a *second* distinct real object to a name is the same
+        #: modelling error the base registry rejects.
+        self._bound: dict = {}
+        for spec in specs:
+            placeholder = spec.placeholder()
+            position = len(self._holes)
+            self._holes.append(placeholder)
+            self._positions[placeholder] = position
+            self._names[placeholder.name] = placeholder
+
+    def position_of(self, hole: Hole, register: bool = True) -> Optional[int]:
+        position = self._positions.get(hole)  # lock-free fast path
+        if position is not None:
+            return position
+        with self._lock:
+            position = self._positions.get(hole)
+            if position is not None:
+                return position
+            known = self._names.get(hole.name)
+            if known is not None:
+                if self._bound.get(hole.name) is not None:
+                    raise SynthesisError(
+                        f"two distinct holes share the name {hole.name!r}"
+                    )
+                if known.arity != hole.arity:
+                    raise SynthesisError(
+                        f"hole {hole.name!r} has arity {hole.arity} here but "
+                        f"{known.arity} in the canonical registry — skeleton "
+                        f"rebuild is not deterministic"
+                    )
+                position = self._positions[known]
+                self._positions[hole] = position  # bind the real object
+                self._bound[hole.name] = hole
+                return position
+            if not register:
+                return None
+            position = len(self._holes)
+            self._holes.append(hole)
+            self._positions[hole] = position
+            self._names[hole.name] = hole
+            self._bound[hole.name] = hole
+            return position
+
+
+class BatchRunner:
+    """Pass- and batch-level synthesis logic, independent of any process.
+
+    Tests drive this class inline; :func:`worker_main` wraps it in a queue
+    loop.  The runner's config is neutered of *global* stop conditions
+    (solution limit, evaluation cap) — those belong to the coordinator,
+    which enforces them across workers; the per-batch ``eval_budget``
+    bounds overshoot instead.
+    """
+
+    def __init__(self, system: TransitionSystem, config: SynthesisConfig,
+                 worker_id: int = -1) -> None:
+        self.system = system
+        self.worker_id = worker_id
+        self._config = replace(config, solution_limit=None, max_evaluations=None)
+        self.core: Optional[SynthesisCore] = None
+        self._radices: Tuple[int, ...] = ()
+        self._first_new = 0
+
+    def start_pass(self, msg: PassStart) -> None:
+        core = SynthesisCore(
+            self.system,
+            replace(self._config),
+            registry=WorkerHoleRegistry(msg.hole_specs),
+        )
+        for constraints in msg.fail_patterns:
+            core.fail_table.add(PruningPattern(constraints))
+        for constraints in msg.success_patterns:
+            core.success_table.add(PruningPattern(constraints))
+        self.core = core
+        self._radices = tuple(spec.arity for spec in msg.hole_specs)
+        self._first_new = msg.first_new
+
+    def run_batch(self, task: BatchTask) -> BatchResult:
+        core = self.core
+        if core is None:
+            raise SynthesisError("BatchTask received before PassStart")
+        for constraints in task.fail_delta:
+            core.fail_table.add(PruningPattern(constraints))
+        for constraints in task.success_delta:
+            core.success_table.add(PruningPattern(constraints))
+
+        fail_seen = core.fail_table.version
+        success_seen = core.success_table.version
+        holes_seen = len(core.registry)
+        solutions_seen = len(core.solutions)
+        evaluated_seen = core.evaluated
+        deduplicated_seen = core.deduplicated
+        verdicts_seen = dict(core.verdict_counts)
+        if task.eval_budget is not None:
+            core.config.max_evaluations = core.evaluated + task.eval_budget
+        else:
+            core.config.max_evaluations = None
+
+        walker = _PassWalker(core, self._radices, task.start, task.end)
+        budget_exhausted = False
+        try:
+            for digits in walker.enumerator:
+                core.process_candidate(walker, digits, self._first_new)
+        except _StopSynthesis:
+            budget_exhausted = core.stopped_early and not core.inherent_failure
+            core.stopped_early = False
+
+        holes = core.registry.holes
+        return BatchResult(
+            worker_id=self.worker_id,
+            batch_id=task.batch_id,
+            start=task.start,
+            end=task.end,
+            covered=walker.counters.covered,
+            evaluated=core.evaluated - evaluated_seen,
+            deduplicated=core.deduplicated - deduplicated_seen,
+            skipped=dict(walker.counters.skipped),
+            verdict_counts={
+                verdict: count - verdicts_seen.get(verdict, 0)
+                for verdict, count in core.verdict_counts.items()
+                if count - verdicts_seen.get(verdict, 0)
+            },
+            new_fail_patterns=core.fail_table.constraints_since(fail_seen),
+            new_success_patterns=core.success_table.constraints_since(success_seen),
+            new_holes=tuple(
+                HoleSpec.from_hole(hole) for hole in holes[holes_seen:]
+            ),
+            solutions=tuple(
+                replace(solution, run_index=solution.run_index - evaluated_seen)
+                for solution in core.solutions[solutions_seen:]
+            ),
+            budget_exhausted=budget_exhausted,
+            inherent_failure=core.inherent_failure,
+            inherent_failure_message=core.inherent_failure_message,
+        )
+
+
+def worker_main(worker_id: int, spec: SystemSpec, config: SynthesisConfig,
+                task_queue, result_queue) -> None:
+    """Process entry point: serve PassStart/BatchTask until Shutdown."""
+    try:
+        runner = BatchRunner(spec.build(), config, worker_id=worker_id)
+        while True:
+            message = task_queue.get()
+            if isinstance(message, Shutdown):
+                return
+            if isinstance(message, PassStart):
+                runner.start_pass(message)
+                continue
+            result_queue.put(runner.run_batch(message))
+    except BaseException:
+        result_queue.put(WorkerCrash(worker_id, traceback.format_exc()))

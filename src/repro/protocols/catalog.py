@@ -1,0 +1,60 @@
+"""Named catalog of synthesis skeletons.
+
+The catalog maps a stable string name to a builder producing a fresh
+:class:`~repro.mc.system.TransitionSystem` skeleton for a given replica
+count.  It exists for two consumers:
+
+* the CLI (``python -m repro synth <name>``), and
+* the distributed backend (:mod:`repro.dist`), whose worker processes
+  cannot receive a ``TransitionSystem`` by pickle (rule bodies are
+  closures) and instead *rebuild* it from a
+  :class:`~repro.dist.messages.SystemSpec` naming a catalog entry.
+
+Builders must be deterministic: rebuilding the same entry with the same
+replica count must yield a system with identical rule order, hole names,
+and hole action domains, because hole positions are correlated across
+processes by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.mc.system import TransitionSystem
+from repro.protocols.mesi import build_mesi_skeleton
+from repro.protocols.msi import msi_large, msi_read_tiny, msi_small, msi_tiny
+from repro.protocols.msi.skeleton import msi_evict
+from repro.protocols.mutex import build_mutex_skeleton
+from repro.protocols.toy import build_figure2_skeleton
+from repro.protocols.vi import build_vi_skeleton
+
+#: skeleton name -> builder(replicas) returning a TransitionSystem
+SKELETON_BUILDERS: Dict[str, Callable[[int], TransitionSystem]] = {
+    "msi-tiny": lambda n: msi_tiny(n).system,
+    "msi-read-tiny": lambda n: msi_read_tiny(n).system,
+    "msi-small": lambda n: msi_small(n).system,
+    "msi-large": lambda n: msi_large(n).system,
+    "msi-evict": lambda n: msi_evict(n).system,
+    "mesi": lambda n: build_mesi_skeleton(n_caches=n)[0],
+    "vi": lambda n: build_vi_skeleton(n)[0],
+    "mutex": lambda n: build_mutex_skeleton(n)[0],
+    "figure2": lambda n: build_figure2_skeleton(),
+}
+
+
+def skeleton_names() -> Tuple[str, ...]:
+    return tuple(sorted(SKELETON_BUILDERS))
+
+
+def build_skeleton(name: str, replicas: int = 2) -> TransitionSystem:
+    """Build a fresh skeleton system for a catalog entry.
+
+    Raises ``KeyError`` with the available names for unknown entries.
+    """
+    try:
+        builder = SKELETON_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown skeleton {name!r}; available: {', '.join(skeleton_names())}"
+        ) from None
+    return builder(replicas)

@@ -1,0 +1,45 @@
+"""SynthesisConfig rejects nonsense knobs instead of silently misbehaving."""
+
+import pytest
+
+from repro.core import SynthesisConfig
+from repro.core.parallel import ParallelSynthesisEngine
+from repro.dist import DistributedSynthesisEngine, SystemSpec
+from repro.errors import SynthesisError
+from repro.protocols.catalog import build_skeleton
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "knob", ["solution_limit", "max_evaluations", "max_passes"]
+    )
+    def test_negative_limits_rejected(self, knob):
+        with pytest.raises(SynthesisError, match=knob):
+            SynthesisConfig(**{knob: -1})
+
+    def test_negative_default_action_index_rejected(self):
+        with pytest.raises(SynthesisError, match="default_action_index"):
+            SynthesisConfig(default_action_index=-1)
+
+    @pytest.mark.parametrize(
+        "knob", ["solution_limit", "max_evaluations", "max_passes"]
+    )
+    def test_zero_and_none_limits_accepted(self, knob):
+        SynthesisConfig(**{knob: 0})
+        SynthesisConfig(**{knob: None})
+
+    def test_defaults_are_valid(self):
+        SynthesisConfig()
+
+
+class TestEngineWorkerValidation:
+    def test_threads_engine_rejects_nonpositive_threads(self):
+        system = build_skeleton("mutex")
+        with pytest.raises(ValueError, match="threads"):
+            ParallelSynthesisEngine(system, threads=0)
+        with pytest.raises(ValueError, match="threads"):
+            ParallelSynthesisEngine(system, threads=-2)
+
+    def test_processes_engine_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            DistributedSynthesisEngine(SystemSpec("mutex"), workers=-1)

@@ -1,0 +1,80 @@
+"""Wire-protocol types: specs rebuild systems, batches plan sanely."""
+
+import pickle
+
+import pytest
+
+from repro.core.hole import Hole
+from repro.core.action import Action
+from repro.dist.coordinator import plan_batches
+from repro.dist.messages import BatchTask, HoleSpec, PassStart, SystemSpec
+from repro.mc.system import TransitionSystem
+from repro.protocols.catalog import build_skeleton, skeleton_names
+
+
+class TestSystemSpec:
+    @pytest.mark.parametrize("name", ["figure2", "mutex", "vi", "msi-tiny"])
+    def test_build_matches_catalog(self, name):
+        system = SystemSpec(name).build()
+        assert isinstance(system, TransitionSystem)
+        assert system.name == build_skeleton(name).name
+
+    def test_rebuild_is_deterministic(self):
+        a = SystemSpec("msi-tiny").build()
+        b = SystemSpec("msi-tiny").build()
+        assert [rule.name for rule in a.rules] == [rule.name for rule in b.rules]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown skeleton"):
+            SystemSpec("nope").build()
+
+    def test_catalog_covers_cli_names(self):
+        assert {"msi-small", "msi-large", "mutex", "figure2"} <= set(
+            skeleton_names()
+        )
+
+    def test_spec_is_picklable(self):
+        spec = SystemSpec("mutex", replicas=3)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestHoleSpec:
+    def test_round_trip_preserves_names_and_order(self):
+        hole = Hole("h", (Action("a"), Action("b"), Action("c")))
+        spec = HoleSpec.from_hole(hole)
+        assert spec.name == "h"
+        assert spec.actions == ("a", "b", "c")
+        assert spec.arity == 3
+        placeholder = spec.placeholder()
+        assert placeholder.name == hole.name
+        assert placeholder.arity == hole.arity
+        assert [a.name for a in placeholder.domain] == ["a", "b", "c"]
+
+    def test_messages_are_picklable(self):
+        spec = HoleSpec("h", ("a", "b"))
+        start = PassStart(1, 0, (spec,), (((0, 1),),), ())
+        task = BatchTask(0, 0, 10, fail_delta=(((0, 0),),))
+        for message in (spec, start, task):
+            assert pickle.loads(pickle.dumps(message)) == message
+
+
+class TestPlanBatches:
+    def test_covers_range_contiguously(self):
+        batches = plan_batches(1000, workers=4)
+        assert batches[0][0] == 0
+        assert batches[-1][1] == 1000
+        for (_, end), (start, _) in zip(batches, batches[1:]):
+            assert end == start
+
+    def test_batch_count_tracks_workers(self):
+        batches = plan_batches(100_000, workers=4, batches_per_worker=4)
+        assert len(batches) == 16
+
+    def test_min_batch_size_floor(self):
+        batches = plan_batches(40, workers=4, min_batch_size=16)
+        assert all(end - start <= 16 for start, end in batches)
+        assert len(batches) == 3
+
+    def test_tiny_and_empty_spaces(self):
+        assert plan_batches(1, workers=4) == [(0, 1)]
+        assert plan_batches(0, workers=4) == []

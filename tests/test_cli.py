@@ -46,6 +46,28 @@ class TestSynth:
     def test_synth_threads(self, capsys):
         assert main(["synth", "mutex", "--threads", "2"]) == 0
 
+    def test_synth_processes_backend(self, capsys):
+        assert main(
+            ["synth", "mutex", "--backend", "processes", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "processes backend" in out
+        assert "solutions:         1" in out
+
+    def test_synth_backend_sequential_ignores_threads(self, capsys):
+        assert main(["synth", "figure2", "--backend", "sequential"]) == 0
+        assert "sequential backend" in capsys.readouterr().out
+
+    def test_synth_backend_threads_honors_explicit_count(self, capsys):
+        assert main(
+            ["synth", "figure2", "--backend", "threads", "--threads", "1"]
+        ) == 0
+        assert "threads backend, 1 worker(s)" in capsys.readouterr().out
+
+    def test_synth_backend_threads_zero_reaches_validation(self):
+        with pytest.raises(ValueError, match="threads"):
+            main(["synth", "figure2", "--backend", "threads", "--threads", "0"])
+
     def test_synth_groups(self, capsys):
         assert main(["synth", "msi-tiny", "--groups"]) == 0
         assert "behavioural group" in capsys.readouterr().out
