@@ -23,6 +23,20 @@ import pytest
 from repro.analysis.stats import sample_candidate_cost  # noqa: F401 (re-export)
 from repro.core.report import SynthesisReport
 
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ with ``bench``.
+
+    The tier-1 CI job deselects these with ``-m "not bench"`` so its
+    timing guard measures only the functional suite; a separate
+    non-blocking step runs the benches.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.bench)
+
 
 def env_flag(name: str, default: bool) -> bool:
     raw = os.environ.get(name)

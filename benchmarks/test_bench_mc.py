@@ -1,0 +1,133 @@
+"""Model-checker micro-benchmarks: orbit-cache on/off single-candidate checks.
+
+The paper's cost model is "one model-checking run per surviving candidate",
+so the wall-clock of a *single-candidate check* is the number every other
+speedup multiplies.  This bench measures it on the MSI-small skeleton at 3
+replicas (orbit size 3! = 6) with the reference completion, comparing the
+legacy canonicaliser (full orbit search, no memo) against the cached one
+(sorted-replica fast path + orbit-representative memo), and emits
+``BENCH_mc.json``.
+
+This is a *single-threaded* comparison: no cpu_count gating is needed
+(unlike ``BENCH_dist.json``'s multi-worker rows).  Repeated checks against
+one system object model the synthesis engines' actual behaviour — the
+orbit cache is shared across every candidate evaluation of a run.
+
+A fingerprint-determinism sanity check rides along for the tuple-walk
+``fingerprint_state`` rewrite: per-config visited-set fingerprints must be
+identical across repeated runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from benchmarks.conftest import run_once
+from repro.mc.bfs import BfsExplorer
+from repro.mc.context import FixedResolver
+from repro.mc.hashing import fingerprint_state_set
+from repro.mc.result import Verdict
+from repro.mc.symmetry import Permuter, ScalarSet
+from repro.protocols.msi import defs
+from repro.protocols.msi.skeleton import msi_small
+
+REPLICAS = 3
+#: candidate checks per configuration; >1 exercises the cross-run cache
+#: reuse every synthesis pass gets for free
+REPEATS = 4
+
+
+def make_resolver(skeleton):
+    assignment = skeleton.reference_assignment()
+    return FixedResolver(
+        {
+            hole: hole.domain[hole.index_of(assignment[hole.name])]
+            for hole in skeleton.holes
+        }
+    )
+
+
+def make_systems():
+    """(cache-off system, cache-on system) for the same skeleton."""
+    cached_skel = msi_small(REPLICAS)
+    uncached_skel = msi_small(REPLICAS)
+    legacy = Permuter.for_single(ScalarSet("cache", REPLICAS), defs.permute_state)
+    uncached_system = uncached_skel.system.with_canonicalizer(legacy.canonicalize)
+    return (uncached_skel, uncached_system), (cached_skel, cached_skel.system)
+
+
+def check_candidates(skeleton, system):
+    """Run REPEATS single-candidate checks; return (seconds, results)."""
+    resolver = make_resolver(skeleton)
+    results = []
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        explorer = BfsExplorer(system, resolver=resolver)
+        results.append((explorer.run(), frozenset(explorer.visited_states)))
+    return time.perf_counter() - start, results
+
+
+def test_orbit_cache_single_candidate_speedup(benchmark):
+    (off_skel, off_system), (on_skel, on_system) = make_systems()
+
+    off_seconds, off_results = check_candidates(off_skel, off_system)
+
+    def cached_run():
+        return check_candidates(on_skel, on_system)
+
+    on_seconds, on_results = run_once(benchmark, cached_run)
+
+    # Correctness before speed: identical verdicts and state counts.
+    for (off_res, _), (on_res, _) in zip(off_results, on_results):
+        assert off_res.verdict is Verdict.SUCCESS
+        assert on_res.verdict is Verdict.SUCCESS
+        assert on_res.stats.states_visited == off_res.stats.states_visited
+    last_on = on_results[-1][0]
+    assert last_on.stats.canon_cache_hits > 0
+    assert last_on.stats.canon_cache_size > 0
+
+    # Fingerprint determinism sanity (tuple-walk rewrite): identical
+    # visited sets fingerprint identically, run after run.
+    on_prints = {fingerprint_state_set(states) for _, states in on_results}
+    off_prints = {fingerprint_state_set(states) for _, states in off_results}
+    assert len(on_prints) == 1
+    assert len(off_prints) == 1
+
+    speedup = off_seconds / on_seconds if on_seconds else float("inf")
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "replicas": REPLICAS,
+        "repeats": REPEATS,
+        "skeleton": "msi-small",
+        "rows": [
+            {
+                "config": "orbit-cache-off",
+                "seconds": round(off_seconds, 4),
+                "states_per_check": off_results[0][0].stats.states_visited,
+            },
+            {
+                "config": "orbit-cache-on",
+                "seconds": round(on_seconds, 4),
+                "states_per_check": on_results[0][0].stats.states_visited,
+                "cache_hits_last_check": last_on.stats.canon_cache_hits,
+                "cache_size": last_on.stats.canon_cache_size,
+            },
+        ],
+        "speedup_cache_on": round(speedup, 3),
+    }
+    with open("BENCH_mc.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    sys.__stdout__.write(
+        f"\nBENCH_mc.json written: orbit cache speedup {speedup:.2f}x "
+        f"({off_seconds:.3f}s -> {on_seconds:.3f}s over {REPEATS} checks)\n"
+    )
+    sys.__stdout__.flush()
+    benchmark.extra_info.update(payload)
+
+    # Generous floor: the acceptance target is >= 1.3x, but wall-clock on a
+    # loaded CI box is noisy, so only sanity-assert the cache isn't a loss.
+    assert speedup > 1.0

@@ -37,6 +37,8 @@ from repro.mc import (
     BfsExplorer,
     CoverageProperty,
     DeadlockPolicy,
+    DfsExplorer,
+    ExplorationKernel,
     ExplorationLimits,
     Invariant,
     Multiset,
@@ -44,6 +46,7 @@ from repro.mc import (
     ScalarSet,
     TransitionSystem,
     Verdict,
+    make_explorer,
     ruleset,
 )
 
@@ -54,6 +57,8 @@ __all__ = [
     "BfsExplorer",
     "CoverageProperty",
     "DeadlockPolicy",
+    "DfsExplorer",
+    "ExplorationKernel",
     "ExplorationLimits",
     "Hole",
     "Invariant",
@@ -68,5 +73,6 @@ __all__ = [
     "Verdict",
     "WILDCARD",
     "__version__",
+    "make_explorer",
     "ruleset",
 ]

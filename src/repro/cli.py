@@ -26,8 +26,7 @@ from repro.analysis.grouping import describe_groups
 from repro.core import SynthesisConfig, SynthesisEngine
 from repro.core.parallel import ParallelSynthesisEngine
 from repro.dist import DistributedSynthesisEngine, SystemSpec
-from repro.mc.bfs import BfsExplorer, ExplorationLimits
-from repro.mc.dfs import DfsExplorer
+from repro.mc.kernel import EXPLORER_STRATEGIES, ExplorationLimits, make_explorer
 from repro.protocols.catalog import SKELETON_BUILDERS
 from repro.protocols.mesi import build_mesi_system
 from repro.protocols.msi.defs import format_state
@@ -65,7 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--caches", "--procs", dest="replicas", type=int, default=2)
     verify.add_argument("--evictions", action="store_true")
     verify.add_argument("--no-symmetry", action="store_true")
-    verify.add_argument("--dfs", action="store_true", help="depth-first search")
+    verify.add_argument(
+        "--explorer", choices=sorted(EXPLORER_STRATEGIES), default=None,
+        help="frontier strategy (default: bfs, whose traces are minimal)",
+    )
+    verify.add_argument("--dfs", action="store_true",
+                        help="shorthand for --explorer dfs")
     verify.add_argument("--max-states", type=int, default=None)
 
     synth = sub.add_parser("synth", help="synthesise holes in a skeleton")
@@ -82,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 4 with --backend threads, else 1)")
     synth.add_argument("--workers", type=int, default=4,
                        help="worker processes for the processes backend")
+    synth.add_argument(
+        "--explorer", choices=sorted(EXPLORER_STRATEGIES), default="bfs",
+        help="model-checker frontier strategy for candidate evaluation "
+             "(bfs yields minimal traces, which prune best; dfs is the "
+             "ablation)",
+    )
     synth.add_argument("--naive", action="store_true", help="disable pruning")
     synth.add_argument("--refined", action="store_true",
                        help="refined trace-based pruning patterns")
@@ -98,9 +108,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
     system = PROTOCOLS[args.protocol](
         args.replicas, evictions=args.evictions, symmetry=not args.no_symmetry
     )
-    explorer_cls = DfsExplorer if args.dfs else BfsExplorer
+    strategy = args.explorer or ("dfs" if args.dfs else "bfs")
     limits = ExplorationLimits(max_states=args.max_states)
-    result = explorer_cls(system, limits=limits).run()
+    result = make_explorer(strategy, system, limits=limits).run()
     print(f"{system.name}: {result.summary()}")
     if result.trace is not None:
         formatter = format_state if args.protocol == "msi" else repr
@@ -116,6 +126,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
         solution_limit=args.solution_limit,
         max_evaluations=args.max_evaluations,
         compute_fingerprints=args.groups,
+        explorer=args.explorer,
     )
     backend = args.backend
     if backend is None:

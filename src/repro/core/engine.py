@@ -35,7 +35,12 @@ from repro.core.hole import Hole
 from repro.core.pruning import DfsMatcher, PruningPattern, PruningTable
 from repro.core.report import Solution, SynthesisReport
 from repro.errors import SynthesisError
-from repro.mc.bfs import BfsExplorer, ExplorationLimits
+from repro.mc.kernel import (
+    EXPLORER_STRATEGIES,
+    ExplorationKernel,
+    ExplorationLimits,
+    make_explorer,
+)
 from repro.mc.hashing import fingerprint_state_set
 from repro.mc.result import VerificationResult
 from repro.mc.system import TransitionSystem
@@ -70,6 +75,11 @@ class SynthesisConfig:
         compute_fingerprints: fingerprint each solution's visited-state set
             (enables behavioural grouping; costs one pass over the states).
         record_traces: keep error traces (disable to save memory).
+        explorer: frontier strategy for candidate model checking — a name
+            registered in :data:`repro.mc.kernel.EXPLORER_STRATEGIES`
+            (``"bfs"``, the default and the paper's choice because minimal
+            traces prune best, or ``"dfs"``).  Shared verbatim with the
+            thread and process backends.
     """
 
     pruning: bool = True
@@ -84,8 +94,14 @@ class SynthesisConfig:
     max_passes: Optional[int] = None
     compute_fingerprints: bool = False
     record_traces: bool = True
+    explorer: str = "bfs"
 
     def __post_init__(self) -> None:
+        if self.explorer not in EXPLORER_STRATEGIES:
+            raise SynthesisError(
+                f"unknown explorer {self.explorer!r}; available: "
+                f"{', '.join(sorted(EXPLORER_STRATEGIES))}"
+            )
         for knob in ("solution_limit", "max_evaluations", "max_passes"):
             value = getattr(self, knob)
             if value is not None and value < 0:
@@ -163,8 +179,9 @@ class SynthesisCore:
             self.registry, vector, self.config.default_action_index
         )
 
-    def evaluate(self, vector: CandidateVector) -> Tuple[VerificationResult, BfsExplorer]:
-        explorer = BfsExplorer(
+    def evaluate(self, vector: CandidateVector) -> Tuple[VerificationResult, ExplorationKernel]:
+        explorer = make_explorer(
+            self.config.explorer,
             self.system,
             resolver=self.make_resolver(vector),
             limits=self.config.limits,
@@ -238,7 +255,7 @@ class SynthesisCore:
         self,
         digits: Tuple[int, ...],
         result: VerificationResult,
-        explorer: BfsExplorer,
+        explorer: ExplorationKernel,
         run_index: int,
     ) -> None:
         """Record patterns/solutions for one dispatched candidate."""
@@ -401,6 +418,7 @@ class SynthesisEngine:
             pruning=config.pruning,
             threads=1,
             backend="sequential",
+            explorer=config.explorer,
         )
         watch = Stopwatch.started()
         try:

@@ -73,6 +73,7 @@ class ParallelSynthesisEngine:
             pruning=self.config.pruning,
             threads=self.threads,
             backend="threads",
+            explorer=self.config.explorer,
         )
         watch = Stopwatch.started()
         try:

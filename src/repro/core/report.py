@@ -63,6 +63,8 @@ class SynthesisReport:
     #: evaluation backend that produced this report; ``threads`` counts
     #: workers of whichever kind (threads or processes) the backend uses.
     backend: str = "sequential"
+    #: frontier strategy the model checker ran with (``bfs``/``dfs``)
+    explorer: str = "bfs"
     holes: List[Hole] = field(default_factory=list)
     passes: int = 0
     evaluated: int = 0
@@ -136,7 +138,8 @@ class SynthesisReport:
         lines = [
             f"system:            {self.system_name}",
             f"mode:              {'pruning' if self.pruning else 'naive'}"
-            f", {self.backend} backend, {self.threads} worker(s)",
+            f", {self.backend} backend, {self.threads} worker(s)"
+            f", {self.explorer} explorer",
             f"holes discovered:  {self.hole_count}"
             f" ({', '.join(h.name for h in self.holes)})",
             f"candidate space:   {self.naive_candidate_space:,}"

@@ -242,6 +242,7 @@ class DistributedSynthesisEngine:
             pruning=self.config.pruning,
             threads=self.workers,
             backend="processes",
+            explorer=self.config.explorer,
         )
         watch = Stopwatch.started()
         try:
@@ -289,6 +290,7 @@ class DistributedSynthesisEngine:
             hole_specs=tuple(HoleSpec.from_hole(hole) for hole in holes),
             fail_patterns=core.fail_table.constraints_since(),
             success_patterns=core.success_table.constraints_since(),
+            explorer=config.explorer,
         )
         watermarks: Dict[int, Tuple[int, int]] = {}
         for worker_id, tasks in enumerate(self._task_queues):

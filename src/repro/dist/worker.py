@@ -127,6 +127,11 @@ class BatchRunner:
         self._first_new = 0
 
     def start_pass(self, msg: PassStart) -> None:
+        if msg.explorer != self._config.explorer:
+            raise SynthesisError(
+                f"coordinator runs the {msg.explorer!r} explorer but this "
+                f"worker was configured with {self._config.explorer!r}"
+            )
         core = SynthesisCore(
             self.system,
             replace(self._config),

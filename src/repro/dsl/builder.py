@@ -241,7 +241,10 @@ class ProtocolBuilder:
             permuter = Permuter.for_single(
                 ScalarSet("proc", self.n_procs), permute
             )
-            canonicalize = permuter.canonicalize
+            # No replica_keys fast path here: the builder cannot know which
+            # process indices a user's global state references, so only the
+            # orbit cache is generic enough to apply.
+            canonicalize = permuter.make_canonicalizer()
 
         return TransitionSystem(
             name=f"{self.name}-{self.n_procs}p",

@@ -7,27 +7,47 @@ reduction, and three-valued verdicts (SUCCESS / FAILURE / UNKNOWN) so the
 synthesis layer can reason about candidates containing wildcard holes.
 """
 
-from repro.mc.bfs import BfsExplorer, ExplorationLimits
+from repro.mc.bfs import BfsExplorer
 from repro.mc.context import ExecutionContext, FixedResolver, NullResolver
 from repro.mc.dfs import DfsExplorer
+from repro.mc.kernel import (
+    EXPLORER_STRATEGIES,
+    ExplorationKernel,
+    ExplorationLimits,
+    FifoFrontier,
+    FrontierStrategy,
+    LifoFrontier,
+    make_explorer,
+)
 from repro.mc.multiset import Multiset
 from repro.mc.properties import CoverageProperty, DeadlockPolicy, Invariant
 from repro.mc.result import Verdict, VerificationResult
 from repro.mc.rule import Rule, RuleInstance, ruleset
-from repro.mc.symmetry import CanonicalizingSystem, Permuter, ScalarSet
+from repro.mc.symmetry import (
+    CachingCanonicalizer,
+    CanonicalizingSystem,
+    Permuter,
+    ScalarSet,
+)
 from repro.mc.system import TransitionSystem
 from repro.mc.trace import Trace, TraceStep
 
 __all__ = [
     "BfsExplorer",
+    "CachingCanonicalizer",
     "CanonicalizingSystem",
     "CoverageProperty",
     "DeadlockPolicy",
     "DfsExplorer",
+    "EXPLORER_STRATEGIES",
     "ExecutionContext",
+    "ExplorationKernel",
     "ExplorationLimits",
+    "FifoFrontier",
     "FixedResolver",
+    "FrontierStrategy",
     "Invariant",
+    "LifoFrontier",
     "Multiset",
     "NullResolver",
     "Permuter",
@@ -39,5 +59,6 @@ __all__ = [
     "TransitionSystem",
     "Verdict",
     "VerificationResult",
+    "make_explorer",
     "ruleset",
 ]

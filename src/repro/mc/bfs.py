@@ -1,65 +1,29 @@
 """Breadth-first explicit-state exploration.
 
-The explorer implements the paper's embedded model checker: BFS over the
-canonicalised state space, yielding *minimal* error traces (footnote 1 of
-the paper: minimality matters because a short trace touches few holes, which
-is what makes candidate pruning effective).
+A thin FIFO-strategy shell over the unified
+:class:`~repro.mc.kernel.ExplorationKernel`, which implements the paper's
+embedded model checker and pins down the verdict semantics shared by every
+search strategy (see the kernel's module docstring).  BFS is the synthesis
+default because FIFO discovery order yields *minimal* error traces
+(footnote 1 of the paper: minimality matters because a short trace touches
+few holes, which is what makes candidate pruning effective).
 
-Semantics pinned down here (see DESIGN.md):
-
-* Invariants are checked on every state as it is generated (including
-  initial states); a violation stops exploration with a FAILURE and trace.
-* A rule firing that resolves a wildcard hole is aborted (its successors are
-  discarded) and the run is marked; a state whose enabled firings were all
-  wildcard-cut is *not* a deadlock.
-* Deadlock: a state from which no rule produced any successor (visited
-  successors count) and that the deadlock policy does not accept as
-  quiescent, provided no wildcard cut occurred at that state.
-* Coverage properties are evaluated over all visited states after a
-  complete exploration: unmet coverage is a FAILURE only when the run was
-  wildcard-free and not truncated; with wildcards the verdict is UNKNOWN.
-* Hitting an exploration limit yields UNKNOWN (exploration incomplete) —
-  unless a definite failure was found first.
+``ExplorationLimits`` is re-exported here for backwards compatibility; it
+lives in :mod:`repro.mc.kernel`.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Optional
 
-from repro.errors import WildcardEncountered
-from repro.mc.context import ExecutionContext
-from repro.mc.result import FailureKind, RunStats, Verdict, VerificationResult
+from repro.mc.kernel import ExplorationKernel, ExplorationLimits, FifoFrontier
 from repro.mc.system import TransitionSystem
-from repro.mc.trace import Trace, TraceStep
+
+__all__ = ["BfsExplorer", "ExplorationLimits"]
 
 
-@dataclass(frozen=True)
-class ExplorationLimits:
-    """Caps on exploration effort; ``None`` means unlimited."""
-
-    max_states: Optional[int] = None
-    max_depth: Optional[int] = None
-
-
-class BfsExplorer:
-    """One-shot breadth-first explorer for a transition system.
-
-    Args:
-        system: the transition system to explore.
-        resolver: hole resolver handed to the execution context; ``None``
-            means the system must be hole-free.
-        limits: optional exploration caps.
-        record_traces: keep parent pointers for trace reconstruction
-            (disable to save memory on very large complete-system runs).
-        track_hole_paths: additionally record, per state, the set of holes
-            executed on its BFS discovery path; enables refined trace-based
-            pruning (an extension over the paper; see
-            :mod:`repro.core.pruning`).
-        capture_graph: optionally pass a :class:`repro.mc.graph.StateGraph`
-            to receive every state and transition (for visualisation).
-    """
+class BfsExplorer(ExplorationKernel):
+    """One-shot breadth-first explorer (FIFO frontier strategy)."""
 
     def __init__(
         self,
@@ -70,213 +34,12 @@ class BfsExplorer:
         track_hole_paths: bool = False,
         capture_graph: Any = None,
     ) -> None:
-        self.system = system
-        self.ctx = ExecutionContext(resolver)
-        self.limits = limits or ExplorationLimits()
-        self.record_traces = record_traces
-        self.track_hole_paths = track_hole_paths
-        self.capture_graph = capture_graph
-        self.visited_states: Dict[Any, int] = {}
-
-    def run(self) -> VerificationResult:
-        """Explore and return the verdict."""
-        system = self.system
-        ctx = self.ctx
-        canonicalize = system.canonicalize
-        limits = self.limits
-        visited = self.visited_states
-        parents: List[Optional[Tuple[int, str]]] = []
-        originals: List[Any] = []
-        hole_paths: List[frozenset] = []
-        pending_coverage = list(system.coverage)
-        covered: Set[str] = set()
-
-        states_visited = 0
-        transitions = 0
-        attempts = 0
-        wildcard_cuts = 0
-        max_depth = 0
-        truncated = False
-
-        queue: deque = deque()
-
-        def register(state: Any, parent: Optional[Tuple[int, str]], depth: int,
-                     path_holes: frozenset) -> Tuple[int, bool]:
-            """Canonicalise, dedup, property-check, and enqueue a state.
-
-            Returns ``(state_id, is_new)``.
-            """
-            nonlocal states_visited
-            canon = canonicalize(state)
-            known = visited.get(canon)
-            if known is not None:
-                if self.capture_graph is not None and parent is not None:
-                    self.capture_graph.add_edge(parent[0], known, parent[1])
-                return known, False
-            sid = len(originals)
-            visited[canon] = sid
-            originals.append(state)
-            parents.append(parent if self.record_traces else None)
-            if self.track_hole_paths:
-                hole_paths.append(path_holes)
-            states_visited += 1
-            if pending_coverage:
-                for prop in list(pending_coverage):
-                    if prop.satisfied_by(state):
-                        covered.add(prop.name)
-                        pending_coverage.remove(prop)
-            if self.capture_graph is not None:
-                self.capture_graph.add_state(sid, state, depth)
-                if parent is not None:
-                    self.capture_graph.add_edge(parent[0], sid, parent[1])
-            queue.append((state, sid, depth))
-            return sid, True
-
-        def build_trace(sid: int) -> Optional[Trace]:
-            if not self.record_traces:
-                return None
-            steps: List[TraceStep] = []
-            cursor: Optional[int] = sid
-            while cursor is not None:
-                parent = parents[cursor]
-                steps.append(
-                    TraceStep(parent[1] if parent else None, originals[cursor])
-                )
-                cursor = parent[0] if parent else None
-            steps.reverse()
-            return Trace(steps)
-
-        def failure(kind: FailureKind, message: str, sid: int,
-                    extra_holes: frozenset = frozenset()) -> VerificationResult:
-            relevant: Optional[frozenset] = None
-            if self.track_hole_paths:
-                relevant = hole_paths[sid] | extra_holes
-            return VerificationResult(
-                verdict=Verdict.FAILURE,
-                failure_kind=kind,
-                message=message,
-                trace=build_trace(sid),
-                stats=RunStats(
-                    states_visited=states_visited,
-                    transitions_fired=transitions,
-                    rules_attempted=attempts,
-                    wildcard_cuts=wildcard_cuts,
-                    max_depth=max_depth,
-                    truncated=truncated,
-                ),
-                wildcard_encountered=ctx.run_wildcard_encountered,
-                executed_holes=frozenset(ctx.run_executed_holes),
-                failure_holes=relevant,
-            )
-
-        # Seed with initial states (checking invariants on them too).
-        for state in system.initial_states():
-            sid, is_new = register(state, None, 0, frozenset())
-            if not is_new:
-                continue
-            for invariant in system.invariants:
-                if not invariant.holds(state):
-                    return failure(
-                        FailureKind.INVARIANT,
-                        f"invariant {invariant.name!r} violated in an initial state",
-                        sid,
-                    )
-
-        while queue:
-            if limits.max_states is not None and states_visited >= limits.max_states and queue:
-                truncated = True
-                break
-            state, sid, depth = queue.popleft()
-            if depth > max_depth:
-                max_depth = depth
-            if limits.max_depth is not None and depth >= limits.max_depth:
-                truncated = True
-                continue
-            produced_successor = False
-            cut_here = False
-            path_holes = hole_paths[sid] if self.track_hole_paths else frozenset()
-            holes_at_state: Set[Any] = set()
-
-            for rule in system.rules:
-                if not rule.guard(state):
-                    continue
-                attempts += 1
-                ctx.begin_firing()
-                try:
-                    successors = rule.fire(state, ctx)
-                except WildcardEncountered:
-                    cut_here = True
-                    wildcard_cuts += 1
-                    continue
-                if self.track_hole_paths:
-                    holes_at_state |= ctx.firing_executed_holes
-                if successors:
-                    produced_successor = True
-                firing_holes = (
-                    path_holes | ctx.firing_executed_holes
-                    if self.track_hole_paths
-                    else frozenset()
-                )
-                for successor in successors:
-                    transitions += 1
-                    new_sid, is_new = register(
-                        successor, (sid, rule.name), depth + 1, firing_holes
-                    )
-                    if not is_new:
-                        continue
-                    for invariant in system.invariants:
-                        if not invariant.holds(successor):
-                            return failure(
-                                FailureKind.INVARIANT,
-                                f"invariant {invariant.name!r} violated",
-                                new_sid,
-                            )
-
-            if not produced_successor and not cut_here:
-                if self.system.deadlock.is_deadlock(state):
-                    return failure(
-                        FailureKind.DEADLOCK,
-                        "deadlock: no enabled transitions",
-                        sid,
-                        extra_holes=frozenset(holes_at_state),
-                    )
-
-        stats = RunStats(
-            states_visited=states_visited,
-            transitions_fired=transitions,
-            rules_attempted=attempts,
-            wildcard_cuts=wildcard_cuts,
-            max_depth=max_depth,
-            truncated=truncated,
-        )
-        unmet = tuple(prop.name for prop in pending_coverage)
-
-        if unmet and not ctx.run_wildcard_encountered and not truncated:
-            return VerificationResult(
-                verdict=Verdict.FAILURE,
-                failure_kind=FailureKind.COVERAGE,
-                message=f"coverage not met: {', '.join(unmet)}",
-                trace=None,
-                stats=stats,
-                wildcard_encountered=False,
-                executed_holes=frozenset(ctx.run_executed_holes),
-                failure_holes=(
-                    frozenset(ctx.run_executed_holes) if self.track_hole_paths else None
-                ),
-                unmet_coverage=unmet,
-            )
-        if ctx.run_wildcard_encountered or truncated:
-            return VerificationResult(
-                verdict=Verdict.UNKNOWN,
-                message="truncated exploration" if truncated else "wildcards encountered",
-                stats=stats,
-                wildcard_encountered=ctx.run_wildcard_encountered,
-                executed_holes=frozenset(ctx.run_executed_holes),
-                unmet_coverage=unmet,
-            )
-        return VerificationResult(
-            verdict=Verdict.SUCCESS,
-            stats=stats,
-            wildcard_encountered=False,
-            executed_holes=frozenset(ctx.run_executed_holes),
+        super().__init__(
+            system,
+            resolver=resolver,
+            strategy=FifoFrontier(),
+            limits=limits,
+            record_traces=record_traces,
+            track_hole_paths=track_hole_paths,
+            capture_graph=capture_graph,
         )

@@ -1,17 +1,21 @@
 """Depth-first explicit-state exploration.
 
-A DFS alternative to :class:`~repro.mc.bfs.BfsExplorer` with identical
-verdict semantics (SUCCESS / FAILURE / UNKNOWN, wildcard cuts, coverage,
-deadlock policy).  The practical trade-offs are the classic ones:
+A thin LIFO-strategy shell over the unified
+:class:`~repro.mc.kernel.ExplorationKernel` with verdict semantics
+*identical* to :class:`~repro.mc.bfs.BfsExplorer` (SUCCESS / FAILURE /
+UNKNOWN, wildcard cuts, coverage, deadlock policy, truncation) — the
+kernel is the single implementation of all of them.  The practical
+trade-offs are the classic ones:
 
 * DFS often finds *a* violation after visiting fewer states (it commits to
   deep paths instead of sweeping frontiers), which can make individual
   failing candidate checks cheaper;
 * its counterexample traces are NOT minimal, which matters for synthesis:
   the paper's candidate-pruning insight leans on minimal traces touching
-  few holes (Section II, footnote 1).  The synthesis engines therefore use
-  BFS; DFS is provided for verification workflows and is benchmarked
-  against BFS in the ablation suite.
+  few holes (Section II, footnote 1).  The synthesis engines therefore
+  default to BFS; DFS is selectable everywhere
+  (``SynthesisConfig(explorer="dfs")``, CLI ``--explorer dfs``) and is
+  benchmarked against BFS in the ablation suite.
 
 Exploration order: rules are tried in reverse declaration order on a stack,
 so the first declared rule is explored deepest-first.
@@ -19,18 +23,21 @@ so the first declared rule is explored deepest-first.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Optional
 
-from repro.errors import WildcardEncountered
-from repro.mc.bfs import ExplorationLimits
-from repro.mc.context import ExecutionContext
-from repro.mc.result import FailureKind, RunStats, Verdict, VerificationResult
+from repro.mc.kernel import ExplorationKernel, ExplorationLimits, LifoFrontier
 from repro.mc.system import TransitionSystem
-from repro.mc.trace import Trace, TraceStep
+
+__all__ = ["DfsExplorer"]
 
 
-class DfsExplorer:
-    """One-shot depth-first explorer (same interface as BfsExplorer)."""
+class DfsExplorer(ExplorationKernel):
+    """One-shot depth-first explorer (LIFO frontier strategy).
+
+    Same interface as :class:`~repro.mc.bfs.BfsExplorer`, including
+    ``track_hole_paths`` and ``capture_graph`` (both gained from the
+    shared kernel).
+    """
 
     def __init__(
         self,
@@ -38,166 +45,15 @@ class DfsExplorer:
         resolver: Any = None,
         limits: Optional[ExplorationLimits] = None,
         record_traces: bool = True,
+        track_hole_paths: bool = False,
+        capture_graph: Any = None,
     ) -> None:
-        self.system = system
-        self.ctx = ExecutionContext(resolver)
-        self.limits = limits or ExplorationLimits()
-        self.record_traces = record_traces
-        self.visited_states: Dict[Any, int] = {}
-
-    def run(self) -> VerificationResult:
-        system = self.system
-        ctx = self.ctx
-        canonicalize = system.canonicalize
-        limits = self.limits
-        visited = self.visited_states
-        parents: List[Optional[Tuple[int, str]]] = []
-        originals: List[Any] = []
-        pending_coverage = list(system.coverage)
-
-        states_visited = 0
-        transitions = 0
-        attempts = 0
-        wildcard_cuts = 0
-        max_depth = 0
-        truncated = False
-
-        #: stack of unexpanded state ids with their depths
-        stack: List[Tuple[Any, int, int]] = []
-
-        def register(state: Any, parent: Optional[Tuple[int, str]],
-                     depth: int) -> Tuple[int, bool]:
-            nonlocal states_visited
-            canon = canonicalize(state)
-            known = visited.get(canon)
-            if known is not None:
-                return known, False
-            sid = len(originals)
-            visited[canon] = sid
-            originals.append(state)
-            parents.append(parent if self.record_traces else None)
-            states_visited += 1
-            for prop in list(pending_coverage):
-                if prop.satisfied_by(state):
-                    pending_coverage.remove(prop)
-            stack.append((state, sid, depth))
-            return sid, True
-
-        def build_trace(sid: int) -> Optional[Trace]:
-            if not self.record_traces:
-                return None
-            steps: List[TraceStep] = []
-            cursor: Optional[int] = sid
-            while cursor is not None:
-                parent = parents[cursor]
-                steps.append(
-                    TraceStep(parent[1] if parent else None, originals[cursor])
-                )
-                cursor = parent[0] if parent else None
-            steps.reverse()
-            return Trace(steps)
-
-        def stats() -> RunStats:
-            return RunStats(
-                states_visited=states_visited,
-                transitions_fired=transitions,
-                rules_attempted=attempts,
-                wildcard_cuts=wildcard_cuts,
-                max_depth=max_depth,
-                truncated=truncated,
-            )
-
-        def failure(kind: FailureKind, message: str, sid: int) -> VerificationResult:
-            return VerificationResult(
-                verdict=Verdict.FAILURE,
-                failure_kind=kind,
-                message=message,
-                trace=build_trace(sid),
-                stats=stats(),
-                wildcard_encountered=ctx.run_wildcard_encountered,
-                executed_holes=frozenset(ctx.run_executed_holes),
-            )
-
-        for state in system.initial_states():
-            sid, is_new = register(state, None, 0)
-            if not is_new:
-                continue
-            for invariant in system.invariants:
-                if not invariant.holds(state):
-                    return failure(
-                        FailureKind.INVARIANT,
-                        f"invariant {invariant.name!r} violated in an initial state",
-                        sid,
-                    )
-
-        while stack:
-            if limits.max_states is not None and states_visited >= limits.max_states:
-                truncated = True
-                break
-            state, sid, depth = stack.pop()
-            if depth > max_depth:
-                max_depth = depth
-            if limits.max_depth is not None and depth >= limits.max_depth:
-                truncated = True
-                continue
-            produced_successor = False
-            cut_here = False
-            # Reverse order so the first declared rule ends up on top of
-            # the stack and is explored first.
-            for rule in reversed(system.rules):
-                if not rule.guard(state):
-                    continue
-                attempts += 1
-                ctx.begin_firing()
-                try:
-                    successors = rule.fire(state, ctx)
-                except WildcardEncountered:
-                    cut_here = True
-                    wildcard_cuts += 1
-                    continue
-                if successors:
-                    produced_successor = True
-                for successor in successors:
-                    transitions += 1
-                    new_sid, is_new = register(successor, (sid, rule.name), depth + 1)
-                    if not is_new:
-                        continue
-                    for invariant in system.invariants:
-                        if not invariant.holds(successor):
-                            return failure(
-                                FailureKind.INVARIANT,
-                                f"invariant {invariant.name!r} violated",
-                                new_sid,
-                            )
-            if not produced_successor and not cut_here:
-                if system.deadlock.is_deadlock(state):
-                    return failure(
-                        FailureKind.DEADLOCK, "deadlock: no enabled transitions", sid
-                    )
-
-        unmet = tuple(prop.name for prop in pending_coverage)
-        if unmet and not ctx.run_wildcard_encountered and not truncated:
-            return VerificationResult(
-                verdict=Verdict.FAILURE,
-                failure_kind=FailureKind.COVERAGE,
-                message=f"coverage not met: {', '.join(unmet)}",
-                stats=stats(),
-                wildcard_encountered=False,
-                executed_holes=frozenset(ctx.run_executed_holes),
-                unmet_coverage=unmet,
-            )
-        if ctx.run_wildcard_encountered or truncated:
-            return VerificationResult(
-                verdict=Verdict.UNKNOWN,
-                message="truncated exploration" if truncated else "wildcards encountered",
-                stats=stats(),
-                wildcard_encountered=ctx.run_wildcard_encountered,
-                executed_holes=frozenset(ctx.run_executed_holes),
-                unmet_coverage=unmet,
-            )
-        return VerificationResult(
-            verdict=Verdict.SUCCESS,
-            stats=stats(),
-            wildcard_encountered=False,
-            executed_holes=frozenset(ctx.run_executed_holes),
+        super().__init__(
+            system,
+            resolver=resolver,
+            strategy=LifoFrontier(),
+            limits=limits,
+            record_traces=record_traces,
+            track_hole_paths=track_hole_paths,
+            capture_graph=capture_graph,
         )

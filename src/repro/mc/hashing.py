@@ -6,6 +6,14 @@ whose explored state graphs have the same fingerprint behave identically
 way, observing 5207/6025/6332 visited states per group).  Python's built-in
 ``hash`` is salted per process, so fingerprints use a deterministic FNV-1a
 over the serialised state instead.
+
+The per-state fingerprint walks the :func:`~repro.mc.state.state_key`
+tuple directly — mixing type tags, lengths, and encoded leaf values into
+the running hash — rather than building a ``repr`` string of the whole key
+first, which allocated a throwaway string per state on a hot analysis
+path.  Tags and lengths keep the encoding prefix-free, so e.g.
+``("ab",)`` and ``("a", "b")`` cannot collide structurally, and ints can
+never alias strings.
 """
 
 from __future__ import annotations
@@ -18,6 +26,12 @@ _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _MASK = (1 << 64) - 1
 
+# Single-byte type tags mixed into the stream ahead of each value.
+_TAG_TUPLE = 0x28  # "("
+_TAG_INT = 0x69  # "i"
+_TAG_STR = 0x73  # "s"
+_TAG_OTHER = 0x3F  # "?"
+
 
 def fingerprint_bytes(data: bytes) -> int:
     """64-bit FNV-1a hash of a byte string."""
@@ -28,9 +42,48 @@ def fingerprint_bytes(data: bytes) -> int:
     return value
 
 
+def _mix_bytes(value: int, data: bytes) -> int:
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK
+    return value
+
+
+def _mix_int(value: int, number: int) -> int:
+    length = (number.bit_length() + 8) // 8 or 1
+    # The byte length is mixed ahead of the payload so the variable-width
+    # encoding stays prefix-free (payload bytes cannot re-align across
+    # element boundaries); 4 fixed bytes cover any realistic magnitude.
+    value = _mix_bytes(value, length.to_bytes(4, "little"))
+    return _mix_bytes(value, number.to_bytes(length, "little", signed=True))
+
+
+def _mix_value(value: int, item: Any) -> int:
+    """Mix one serialised-key node (tuple/str/int) into the running hash."""
+    if isinstance(item, tuple):
+        value = _mix_bytes(value, bytes((_TAG_TUPLE,)))
+        value = _mix_int(value, len(item))
+        for element in item:
+            value = _mix_value(value, element)
+        return value
+    if isinstance(item, str):
+        data = item.encode("utf-8")
+        value = _mix_bytes(value, bytes((_TAG_STR,)))
+        value = _mix_int(value, len(data))
+        return _mix_bytes(value, data)
+    if isinstance(item, int):  # bools were lowered to ints by state_key
+        value = _mix_bytes(value, bytes((_TAG_INT,)))
+        return _mix_int(value, item)
+    # state_key only emits tuples/strs/ints, but stay total for direct use.
+    data = repr(item).encode("utf-8")
+    value = _mix_bytes(value, bytes((_TAG_OTHER,)))
+    value = _mix_int(value, len(data))
+    return _mix_bytes(value, data)
+
+
 def fingerprint_state(state: Any) -> int:
     """Deterministic 64-bit fingerprint of a single state."""
-    return fingerprint_bytes(repr(state_key(state)).encode("utf-8"))
+    return _mix_value(_FNV_OFFSET, state_key(state))
 
 
 def fingerprint_state_set(states: Iterable[Any]) -> int:

@@ -1,0 +1,390 @@
+"""The unified exploration kernel (DESIGN: shared verdict semantics).
+
+Every search strategy in this package — breadth-first
+(:class:`~repro.mc.bfs.BfsExplorer`), depth-first
+(:class:`~repro.mc.dfs.DfsExplorer`) — is one :class:`ExplorationKernel`
+parameterised by a :class:`FrontierStrategy`.  The kernel owns everything
+the strategies used to duplicate: state interning against the system's
+canonicaliser, invariant and coverage evaluation, the parent/trace store,
+wildcard bookkeeping, deadlock classification, optional hole-path tracking
+and graph capture, and :class:`~repro.mc.result.RunStats` (including the
+canonicalisation-cache counters).  A strategy contributes exactly two
+decisions: which end of the frontier to pop (FIFO = BFS, LIFO = DFS) and
+in which order to try rules at a state.
+
+Verdict semantics pinned down here (shared by *all* strategies; the
+synthesis layer depends on every clause):
+
+* Invariants are checked on every state as it is generated (including
+  initial states); a violation stops exploration with a FAILURE and trace.
+* A rule firing that resolves a wildcard hole is aborted (its successors
+  are discarded) and the run is marked; a state whose enabled firings were
+  all wildcard-cut is *not* a deadlock.
+* Deadlock: a state from which no rule produced any successor (visited
+  successors count) and that the deadlock policy does not accept as
+  quiescent, provided no wildcard cut occurred at that state.
+* Coverage properties are evaluated over all visited states after a
+  complete exploration: unmet coverage is a FAILURE only when the run was
+  wildcard-free and not truncated; with wildcards the verdict is UNKNOWN.
+* Hitting an exploration limit (``max_states`` at a pop, ``max_depth`` at
+  an expansion) marks the run truncated and yields UNKNOWN — unless a
+  definite failure was found first.  Truncation semantics are strategy-
+  independent: BFS and DFS report the identical ``truncated`` flag for the
+  same limits on the same system.
+
+Trace shape is the one semantic left to the strategy: FIFO discovery
+order makes counterexample traces *minimal* (the property the paper's
+candidate pruning leans on — a short trace touches few holes), while LIFO
+traces may be longer.  The synthesis engines therefore default to the
+FIFO strategy; LIFO is available everywhere (``SynthesisConfig.explorer``,
+CLI ``--explorer dfs``) for verification workloads and ablations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ModelError, WildcardEncountered
+from repro.mc.context import ExecutionContext
+from repro.mc.result import FailureKind, RunStats, Verdict, VerificationResult
+from repro.mc.system import TransitionSystem
+from repro.mc.trace import Trace, TraceStep
+
+
+@dataclass(frozen=True)
+class ExplorationLimits:
+    """Caps on exploration effort; ``None`` means unlimited."""
+
+    max_states: Optional[int] = None
+    max_depth: Optional[int] = None
+
+
+class FrontierStrategy:
+    """How the kernel schedules its frontier and orders rule trials."""
+
+    #: strategy name; also the ``SynthesisConfig.explorer`` / CLI spelling
+    name: str = "?"
+
+    def pop(self, frontier: deque) -> Tuple[Any, int, int]:
+        """Remove and return the next ``(state, sid, depth)`` entry."""
+        raise NotImplementedError
+
+    def order_rules(self, rules: Sequence) -> Tuple:
+        """The order in which rules are tried at each expanded state."""
+        return tuple(rules)
+
+
+class FifoFrontier(FrontierStrategy):
+    """Breadth-first scheduling: pop the oldest entry (a queue)."""
+
+    name = "bfs"
+
+    def pop(self, frontier: deque) -> Tuple[Any, int, int]:
+        return frontier.popleft()
+
+
+class LifoFrontier(FrontierStrategy):
+    """Depth-first scheduling: pop the newest entry (a stack).
+
+    Rules are tried in reverse declaration order so that the *first*
+    declared rule's successors end up on top of the stack and are explored
+    deepest-first — the historical DfsExplorer order.
+    """
+
+    name = "dfs"
+
+    def pop(self, frontier: deque) -> Tuple[Any, int, int]:
+        return frontier.pop()
+
+    def order_rules(self, rules: Sequence) -> Tuple:
+        return tuple(reversed(rules))
+
+
+#: explorer name -> strategy class (the single registry all layers share:
+#: SynthesisConfig validation, the CLI choices, and make_explorer)
+EXPLORER_STRATEGIES: Dict[str, type] = {
+    FifoFrontier.name: FifoFrontier,
+    LifoFrontier.name: LifoFrontier,
+}
+
+
+class ExplorationKernel:
+    """One-shot explicit-state explorer for a transition system.
+
+    Args:
+        system: the transition system to explore.
+        resolver: hole resolver handed to the execution context; ``None``
+            means the system must be hole-free.
+        strategy: a :class:`FrontierStrategy` instance or registered name
+            (default ``"bfs"``).
+        limits: optional exploration caps.
+        record_traces: keep parent pointers for trace reconstruction
+            (disable to save memory on very large complete-system runs).
+        track_hole_paths: additionally record, per state, the set of holes
+            executed on its discovery path; enables refined trace-based
+            pruning (an extension over the paper; see
+            :mod:`repro.core.pruning`).
+        capture_graph: optionally pass a :class:`repro.mc.graph.StateGraph`
+            to receive every state and transition (for visualisation).
+    """
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        resolver: Any = None,
+        strategy: Any = "bfs",
+        limits: Optional[ExplorationLimits] = None,
+        record_traces: bool = True,
+        track_hole_paths: bool = False,
+        capture_graph: Any = None,
+    ) -> None:
+        if isinstance(strategy, str):
+            try:
+                strategy = EXPLORER_STRATEGIES[strategy]()
+            except KeyError:
+                raise ModelError(
+                    f"unknown explorer strategy {strategy!r}; available: "
+                    f"{', '.join(sorted(EXPLORER_STRATEGIES))}"
+                ) from None
+        self.system = system
+        self.strategy = strategy
+        self.ctx = ExecutionContext(resolver)
+        self.limits = limits or ExplorationLimits()
+        self.record_traces = record_traces
+        self.track_hole_paths = track_hole_paths
+        self.capture_graph = capture_graph
+        #: canonical state -> state id, filled during :meth:`run`
+        self.visited_states: Dict[Any, int] = {}
+
+    def run(self) -> VerificationResult:
+        """Explore and return the verdict."""
+        system = self.system
+        ctx = self.ctx
+        canonicalize = system.canonicalize
+        limits = self.limits
+        visited = self.visited_states
+        rules = self.strategy.order_rules(system.rules)
+        parents: List[Optional[Tuple[int, str]]] = []
+        originals: List[Any] = []
+        hole_paths: List[frozenset] = []
+        pending_coverage = list(system.coverage)
+
+        states_visited = 0
+        transitions = 0
+        attempts = 0
+        wildcard_cuts = 0
+        max_depth = 0
+        truncated = False
+
+        # The orbit cache (repro.mc.symmetry.CachingCanonicalizer) is
+        # shared across runs of the same system; report per-run hit deltas.
+        # Under the threads backend concurrent runs share the counter, so a
+        # run's delta can include other threads' hits — diagnostics only.
+        cache_hits_base = getattr(canonicalize, "hits", 0)
+
+        frontier: deque = deque()
+
+        def register(state: Any, parent: Optional[Tuple[int, str]], depth: int,
+                     path_holes: frozenset) -> Tuple[int, bool]:
+            """Canonicalise, dedup, property-check, and enqueue a state.
+
+            Returns ``(state_id, is_new)``.
+            """
+            nonlocal states_visited
+            canon = canonicalize(state)
+            known = visited.get(canon)
+            if known is not None:
+                if self.capture_graph is not None and parent is not None:
+                    self.capture_graph.add_edge(parent[0], known, parent[1])
+                return known, False
+            sid = len(originals)
+            visited[canon] = sid
+            originals.append(state)
+            parents.append(parent if self.record_traces else None)
+            if self.track_hole_paths:
+                hole_paths.append(path_holes)
+            states_visited += 1
+            if pending_coverage:
+                for prop in list(pending_coverage):
+                    if prop.satisfied_by(state):
+                        pending_coverage.remove(prop)
+            if self.capture_graph is not None:
+                self.capture_graph.add_state(sid, state, depth)
+                if parent is not None:
+                    self.capture_graph.add_edge(parent[0], sid, parent[1])
+            frontier.append((state, sid, depth))
+            return sid, True
+
+        def build_trace(sid: int) -> Optional[Trace]:
+            if not self.record_traces:
+                return None
+            steps: List[TraceStep] = []
+            cursor: Optional[int] = sid
+            while cursor is not None:
+                parent = parents[cursor]
+                steps.append(
+                    TraceStep(parent[1] if parent else None, originals[cursor])
+                )
+                cursor = parent[0] if parent else None
+            steps.reverse()
+            return Trace(steps)
+
+        def stats() -> RunStats:
+            return RunStats(
+                states_visited=states_visited,
+                transitions_fired=transitions,
+                rules_attempted=attempts,
+                wildcard_cuts=wildcard_cuts,
+                max_depth=max_depth,
+                truncated=truncated,
+                canon_cache_hits=getattr(canonicalize, "hits", 0) - cache_hits_base,
+                canon_cache_size=getattr(canonicalize, "size", 0),
+            )
+
+        def failure(kind: FailureKind, message: str, sid: int,
+                    extra_holes: frozenset = frozenset()) -> VerificationResult:
+            relevant: Optional[frozenset] = None
+            if self.track_hole_paths:
+                relevant = hole_paths[sid] | extra_holes
+            return VerificationResult(
+                verdict=Verdict.FAILURE,
+                failure_kind=kind,
+                message=message,
+                trace=build_trace(sid),
+                stats=stats(),
+                wildcard_encountered=ctx.run_wildcard_encountered,
+                executed_holes=frozenset(ctx.run_executed_holes),
+                failure_holes=relevant,
+            )
+
+        # Seed with initial states (checking invariants on them too).
+        for state in system.initial_states():
+            sid, is_new = register(state, None, 0, frozenset())
+            if not is_new:
+                continue
+            for invariant in system.invariants:
+                if not invariant.holds(state):
+                    return failure(
+                        FailureKind.INVARIANT,
+                        f"invariant {invariant.name!r} violated in an initial state",
+                        sid,
+                    )
+
+        while frontier:
+            if limits.max_states is not None and states_visited >= limits.max_states:
+                truncated = True
+                break
+            state, sid, depth = self.strategy.pop(frontier)
+            if depth > max_depth:
+                max_depth = depth
+            if limits.max_depth is not None and depth >= limits.max_depth:
+                truncated = True
+                continue
+            produced_successor = False
+            cut_here = False
+            path_holes = hole_paths[sid] if self.track_hole_paths else frozenset()
+            holes_at_state: Set[Any] = set()
+
+            for rule in rules:
+                if not rule.guard(state):
+                    continue
+                attempts += 1
+                ctx.begin_firing()
+                try:
+                    successors = rule.fire(state, ctx)
+                except WildcardEncountered:
+                    cut_here = True
+                    wildcard_cuts += 1
+                    continue
+                if self.track_hole_paths:
+                    holes_at_state |= ctx.firing_executed_holes
+                if successors:
+                    produced_successor = True
+                firing_holes = (
+                    path_holes | ctx.firing_executed_holes
+                    if self.track_hole_paths
+                    else frozenset()
+                )
+                for successor in successors:
+                    transitions += 1
+                    new_sid, is_new = register(
+                        successor, (sid, rule.name), depth + 1, firing_holes
+                    )
+                    if not is_new:
+                        continue
+                    for invariant in system.invariants:
+                        if not invariant.holds(successor):
+                            return failure(
+                                FailureKind.INVARIANT,
+                                f"invariant {invariant.name!r} violated",
+                                new_sid,
+                            )
+
+            if not produced_successor and not cut_here:
+                if system.deadlock.is_deadlock(state):
+                    return failure(
+                        FailureKind.DEADLOCK,
+                        "deadlock: no enabled transitions",
+                        sid,
+                        extra_holes=frozenset(holes_at_state),
+                    )
+
+        unmet = tuple(prop.name for prop in pending_coverage)
+        if unmet and not ctx.run_wildcard_encountered and not truncated:
+            return VerificationResult(
+                verdict=Verdict.FAILURE,
+                failure_kind=FailureKind.COVERAGE,
+                message=f"coverage not met: {', '.join(unmet)}",
+                trace=None,
+                stats=stats(),
+                wildcard_encountered=False,
+                executed_holes=frozenset(ctx.run_executed_holes),
+                failure_holes=(
+                    frozenset(ctx.run_executed_holes) if self.track_hole_paths else None
+                ),
+                unmet_coverage=unmet,
+            )
+        if ctx.run_wildcard_encountered or truncated:
+            return VerificationResult(
+                verdict=Verdict.UNKNOWN,
+                message="truncated exploration" if truncated else "wildcards encountered",
+                stats=stats(),
+                wildcard_encountered=ctx.run_wildcard_encountered,
+                executed_holes=frozenset(ctx.run_executed_holes),
+                unmet_coverage=unmet,
+            )
+        return VerificationResult(
+            verdict=Verdict.SUCCESS,
+            stats=stats(),
+            wildcard_encountered=False,
+            executed_holes=frozenset(ctx.run_executed_holes),
+        )
+
+
+def make_explorer(
+    strategy: str,
+    system: TransitionSystem,
+    resolver: Any = None,
+    limits: Optional[ExplorationLimits] = None,
+    record_traces: bool = True,
+    track_hole_paths: bool = False,
+    capture_graph: Any = None,
+) -> ExplorationKernel:
+    """Build a kernel for a registered strategy name (``bfs``/``dfs``).
+
+    This is the factory every layer above the model checker goes through:
+    :meth:`SynthesisCore.evaluate <repro.core.engine.SynthesisCore.evaluate>`
+    (and therefore the sequential, thread, and process backends) and the
+    CLI ``verify`` command.
+    """
+    return ExplorationKernel(
+        system,
+        resolver=resolver,
+        strategy=strategy,
+        limits=limits,
+        record_traces=record_traces,
+        track_hole_paths=track_hole_paths,
+        capture_graph=capture_graph,
+    )

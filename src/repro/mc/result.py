@@ -42,7 +42,16 @@ class FailureKind(enum.Enum):
 
 @dataclass(frozen=True)
 class RunStats:
-    """Statistics of one exploration."""
+    """Statistics of one exploration.
+
+    ``canon_cache_hits`` counts orbit-cache lookups served from the memo
+    during *this* run; ``canon_cache_size`` is the cache's entry count at
+    run end (the cache is shared across runs of one system, so the size is
+    cumulative, and under the threads backend a run's hit delta can
+    include concurrent runs' hits — diagnostics, not an exact measure).
+    Both are 0 when the system canonicalises without a
+    :class:`~repro.mc.symmetry.CachingCanonicalizer`.
+    """
 
     states_visited: int = 0
     transitions_fired: int = 0
@@ -50,6 +59,8 @@ class RunStats:
     wildcard_cuts: int = 0
     max_depth: int = 0
     truncated: bool = False
+    canon_cache_hits: int = 0
+    canon_cache_size: int = 0
 
     def merged_with(self, other: "RunStats") -> "RunStats":
         return RunStats(
@@ -59,6 +70,8 @@ class RunStats:
             wildcard_cuts=self.wildcard_cuts + other.wildcard_cuts,
             max_depth=max(self.max_depth, other.max_depth),
             truncated=self.truncated or other.truncated,
+            canon_cache_hits=self.canon_cache_hits + other.canon_cache_hits,
+            canon_cache_size=max(self.canon_cache_size, other.canon_cache_size),
         )
 
 

@@ -1,4 +1,4 @@
-"""Scalarset symmetry reduction (Ip & Dill style).
+"""Scalarset symmetry reduction (Ip & Dill style), with cached canonicalisation.
 
 Replicated processes (e.g. the cache controllers in the MSI case study) are
 interchangeable: any permutation of their indices maps reachable states to
@@ -10,46 +10,146 @@ realising symmetry reduction is *straightforward* in an explicit-state tool
 The user supplies a ``permute(state, mapping)`` function that renames every
 occurrence of a scalarset index inside a state according to ``mapping``
 (a tuple where ``mapping[old] == new``).  :class:`Permuter` then
-canonicalises a state to the minimum of its orbit under a deterministic
-serialisation order.
+canonicalises a state to a deterministic orbit representative.
+
+Canonicalisation is the hot path of every model-checker run (one call per
+generated successor), so two optimisations sit in front of the naive
+minimum-of-the-orbit search:
+
+* **Sorted-replica fast path.**  When the model supplies ``replica_keys``
+  — a function projecting the state onto one orderable key per replica,
+  invariant under renaming of the *other* replicas — and those keys are
+  pairwise distinct, sorting replicas by key yields the orbit
+  representative with a single ``permute`` call instead of ``n!`` of them.
+  Key distinctness is an orbit invariant, so every member of an orbit
+  takes the same path and lands on the same representative; ties fall
+  back to the full orbit search.
+* **Orbit-representative memo cache.**  :class:`CachingCanonicalizer`
+  memoises raw state → canonical representative.  States recur massively
+  both within a run (the same raw successor generated along different
+  paths) and *across* candidate evaluations of one synthesis run (the
+  system object — and hence the cache — is shared), and canonicalisation
+  is candidate-independent, so the cache is sound across runs.  Hit/size
+  counters surface in :class:`~repro.mc.result.RunStats` as
+  ``canon_cache_hits`` / ``canon_cache_size``.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ModelError
 from repro.mc.state import state_key
 from repro.mc.system import TransitionSystem
 
 PermuteFn = Callable[[Any, Tuple[int, ...]], Any]
+#: projects a state onto one orderable key per replica (see Permuter docs)
+ReplicaKeysFn = Callable[[Any], Sequence[Any]]
+
+#: default orbit-cache capacity; the cache is cleared wholesale when full
+#: (states are small tuples, so a million entries is tens of MB at most)
+DEFAULT_CACHE_ENTRIES = 1 << 20
 
 
 class ScalarSet:
     """A named finite index set whose elements are interchangeable."""
 
-    __slots__ = ("name", "size")
+    __slots__ = ("name", "size", "_perms")
 
     def __init__(self, name: str, size: int) -> None:
         if size <= 0:
             raise ModelError(f"scalarset {name!r} must have positive size")
         self.name = name
         self.size = size
+        self._perms: Optional[List[Tuple[int, ...]]] = None
 
     def indices(self) -> range:
         return range(self.size)
 
     def permutations(self) -> List[Tuple[int, ...]]:
-        """All permutation mappings of this scalarset (identity first)."""
-        return sorted(itertools.permutations(range(self.size)))
+        """All permutation mappings of this scalarset (identity first).
+
+        Precomputed once per scalarset and reused; callers must not mutate
+        the returned list.
+        """
+        if self._perms is None:
+            self._perms = sorted(itertools.permutations(range(self.size)))
+        return self._perms
 
     def __repr__(self) -> str:
         return f"ScalarSet({self.name!r}, size={self.size})"
 
 
+class CachingCanonicalizer:
+    """Memoising wrapper around a canonicalisation function.
+
+    Maps raw (hashable) states to their orbit representatives.  Correct
+    for any deterministic canonicaliser; shared across runs of the same
+    system because canonicalisation does not depend on the candidate
+    under evaluation.
+
+    Thread note: the thread backend shares one instance across workers.
+    Dict reads/writes are GIL-atomic, so a race can at worst duplicate a
+    computation; the ``hits``/``misses`` counters may undercount slightly
+    under contention, and a single run's hit *delta* (``RunStats``) can
+    include concurrent runs' hits — both acceptable for diagnostics.
+    """
+
+    __slots__ = ("_canonicalize", "_cache", "max_entries", "hits", "misses")
+
+    def __init__(
+        self,
+        canonicalize: Callable[[Any], Any],
+        max_entries: int = DEFAULT_CACHE_ENTRIES,
+    ) -> None:
+        if max_entries <= 0:
+            raise ModelError("max_entries must be positive")
+        self._canonicalize = canonicalize
+        self._cache: dict = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __call__(self, state: Any) -> Any:
+        cache = self._cache
+        canon = cache.get(state)
+        if canon is not None:
+            self.hits += 1
+            return canon
+        canon = self._canonicalize(state)
+        if len(cache) >= self.max_entries:
+            cache.clear()
+        cache[state] = canon
+        # The representative will itself be generated as a raw successor
+        # sooner or later; seeding it is free.
+        cache[canon] = canon
+        self.misses += 1
+        return canon
+
+    @property
+    def size(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
 class Permuter:
-    """Canonicalises states to the lexicographically-minimal orbit member.
+    """Canonicalises states to a deterministic orbit representative.
+
+    Without ``replica_keys`` the representative is the lexicographically-
+    minimal orbit member under :func:`~repro.mc.state.state_key`.  With
+    ``replica_keys`` (single-scalarset only), orbits whose replica keys
+    are pairwise distinct use the sorted-replica fast path instead, whose
+    representative is equally deterministic and orbit-consistent but not
+    necessarily the ``state_key`` minimum.
+
+    ``replica_keys(state)`` must return one orderable key per replica
+    index such that ``keys(permute(state, m))[m[i]] == keys(state)[i]``
+    — i.e. each key captures everything about replica ``i`` (local state,
+    relations like "is the owner", messages addressed to it) in a form
+    invariant under renaming of the other replicas.
 
     For multiple scalarsets, supply one ``permute`` function that accepts a
     mapping per scalarset: ``permute(state, mappings)`` where ``mappings`` is
@@ -61,24 +161,40 @@ class Permuter:
         self,
         scalarsets: Sequence[ScalarSet],
         permute: Callable[[Any, Tuple[Tuple[int, ...], ...]], Any],
+        replica_keys: Optional[ReplicaKeysFn] = None,
     ) -> None:
         if not scalarsets:
             raise ModelError("Permuter requires at least one scalarset")
+        if replica_keys is not None and len(scalarsets) != 1:
+            raise ModelError(
+                "the sorted-replica fast path supports a single scalarset"
+            )
         self.scalarsets = list(scalarsets)
         self._permute = permute
+        self._replica_keys = replica_keys
         self._mappings: List[Tuple[Tuple[int, ...], ...]] = [
             combo
             for combo in itertools.product(
                 *(s.permutations() for s in self.scalarsets)
             )
         ]
+        #: diagnostics: canonicalisations served by the fast path / by the
+        #: full orbit search
+        self.fast_path_hits = 0
+        self.full_orbit_scans = 0
 
     @classmethod
-    def for_single(cls, scalarset: ScalarSet, permute: PermuteFn) -> "Permuter":
+    def for_single(
+        cls,
+        scalarset: ScalarSet,
+        permute: PermuteFn,
+        replica_keys: Optional[ReplicaKeysFn] = None,
+    ) -> "Permuter":
         """Adapt a single-scalarset permute function."""
         return cls(
             [scalarset],
             lambda state, mappings: permute(state, mappings[0]),
+            replica_keys=replica_keys,
         )
 
     @property
@@ -90,7 +206,22 @@ class Permuter:
         return [self._permute(state, mappings) for mappings in self._mappings]
 
     def canonicalize(self, state: Any) -> Any:
-        """Return the orbit member with the minimal serialised form."""
+        """Return this orbit's deterministic representative."""
+        if self._replica_keys is not None:
+            keys = self._replica_keys(state)
+            order = sorted(range(len(keys)), key=keys.__getitem__)
+            distinct = all(
+                keys[order[i]] != keys[order[i + 1]] for i in range(len(order) - 1)
+            )
+            if distinct:
+                self.fast_path_hits += 1
+                mapping = [0] * len(order)
+                for rank, old_index in enumerate(order):
+                    mapping[old_index] = rank
+                if mapping == list(range(len(order))):
+                    return state
+                return self._permute(state, (tuple(mapping),))
+        self.full_orbit_scans += 1
         best = state
         best_key = state_key(state)
         for mappings in self._mappings[1:]:  # mappings[0] is the identity
@@ -101,11 +232,26 @@ class Permuter:
                 best_key = candidate_key
         return best
 
+    def make_canonicalizer(
+        self, cache: bool = True, max_entries: int = DEFAULT_CACHE_ENTRIES
+    ) -> Callable[[Any], Any]:
+        """The canonicaliser to install on a system.
 
-def CanonicalizingSystem(system: TransitionSystem, permuter: Permuter) -> TransitionSystem:
+        With ``cache`` (the default) the returned callable is a
+        :class:`CachingCanonicalizer` whose hit/size counters the
+        exploration kernel surfaces in ``RunStats``.
+        """
+        if not cache:
+            return self.canonicalize
+        return CachingCanonicalizer(self.canonicalize, max_entries=max_entries)
+
+
+def CanonicalizingSystem(
+    system: TransitionSystem, permuter: Permuter, cache: bool = True
+) -> TransitionSystem:
     """Return a copy of ``system`` that canonicalises via ``permuter``.
 
     Named like a class because it constructs a system; kept a function so the
     result is a plain :class:`TransitionSystem`.
     """
-    return system.with_canonicalizer(permuter.canonicalize)
+    return system.with_canonicalizer(permuter.make_canonicalizer(cache=cache))

@@ -35,6 +35,11 @@ from repro.mc.rule import Rule
 from repro.mc.symmetry import Permuter, ScalarSet
 from repro.mc.system import TransitionSystem
 
+# The MESI state tuple has byte-for-byte the same layout as MSI's
+# ``(caches, dirst, owner, sharers, req, acks, net)``, so the sorted-replica
+# fast-path projection is shared rather than duplicated.
+from repro.protocols.msi.defs import replica_keys
+
 # -- states ---------------------------------------------------------------------
 
 C_I, C_S, C_E, C_M, C_IS_D, C_IM_D, C_SM_D, C_IS_D_I = range(8)
@@ -555,8 +560,11 @@ def build_mesi_system(
 
     canonicalize = None
     if symmetry and n_caches > 1:
-        permuter = Permuter.for_single(ScalarSet("cache", n_caches), permute_state)
-        canonicalize = permuter.canonicalize
+        permuter = Permuter.for_single(
+            ScalarSet("cache", n_caches), permute_state,
+            replica_keys=replica_keys,
+        )
+        canonicalize = permuter.make_canonicalizer()
 
     return TransitionSystem(
         name=f"{name}-{n_caches}c",

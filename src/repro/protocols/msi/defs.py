@@ -175,6 +175,34 @@ def permute_state(state: State, mapping: Tuple[int, ...]) -> State:
     )
 
 
+def replica_keys(state: State) -> Tuple[Tuple, ...]:
+    """One orderable key per cache, for the sorted-replica fast path.
+
+    Each key captures everything the state says about cache ``i`` —
+    its controller state, whether it owns the line / shares it / is the
+    pending requestor, and the multiset of messages addressed to it — in a
+    form invariant under renaming of the *other* caches, which is the
+    contract :class:`~repro.mc.symmetry.Permuter` requires.  Negative
+    message indices deliberately Python-index the bucket list exactly like
+    ``mapping[msg[1]]`` does in :func:`permute_state`, so the two stay
+    consistent even for out-of-range candidates.
+    """
+    caches, dirst, owner, sharers, req, acks, net = state
+    messages: Tuple[list, ...] = tuple([] for _ in caches)
+    for (mtype, cache), count in net.items():
+        messages[cache].append((mtype, count))
+    return tuple(
+        (
+            caches[i],
+            i == owner,
+            i in sharers,
+            i == req,
+            tuple(sorted(messages[i])),
+        )
+        for i in range(len(caches))
+    )
+
+
 def format_state(state: State) -> str:
     """Human-readable one-liner for traces and debugging."""
     caches, dirst, owner, sharers, req, acks, net = state

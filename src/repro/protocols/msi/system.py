@@ -111,9 +111,11 @@ def build_msi_system(
     canonicalize = None
     if symmetry and n_caches > 1:
         permuter = Permuter.for_single(
-            ScalarSet("cache", n_caches), defs.permute_state
+            ScalarSet("cache", n_caches),
+            defs.permute_state,
+            replica_keys=defs.replica_keys,
         )
-        canonicalize = permuter.canonicalize
+        canonicalize = permuter.make_canonicalizer()
 
     return TransitionSystem(
         name=f"{name}-{n_caches}c",

@@ -31,6 +31,14 @@ class TestConfigValidation:
     def test_defaults_are_valid(self):
         SynthesisConfig()
 
+    def test_explorer_strategies_accepted(self):
+        assert SynthesisConfig(explorer="bfs").explorer == "bfs"
+        assert SynthesisConfig(explorer="dfs").explorer == "dfs"
+
+    def test_unknown_explorer_rejected(self):
+        with pytest.raises(SynthesisError, match="explorer"):
+            SynthesisConfig(explorer="best-first")
+
 
 class TestEngineWorkerValidation:
     def test_threads_engine_rejects_nonpositive_threads(self):

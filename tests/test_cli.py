@@ -19,6 +19,10 @@ class TestVerify:
         assert main(["verify", "vi", "--procs", "2", "--dfs"]) == 0
         assert "success" in capsys.readouterr().out
 
+    def test_verify_explorer_flag(self, capsys):
+        assert main(["verify", "vi", "--procs", "2", "--explorer", "dfs"]) == 0
+        assert "success" in capsys.readouterr().out
+
     def test_verify_no_symmetry(self, capsys):
         assert main(["verify", "mutex", "--procs", "2", "--no-symmetry"]) == 0
 
@@ -57,6 +61,16 @@ class TestSynth:
     def test_synth_backend_sequential_ignores_threads(self, capsys):
         assert main(["synth", "figure2", "--backend", "sequential"]) == 0
         assert "sequential backend" in capsys.readouterr().out
+
+    def test_synth_explorer_dfs(self, capsys):
+        assert main(["synth", "mutex", "--explorer", "dfs"]) == 0
+        out = capsys.readouterr().out
+        assert "dfs explorer" in out
+        assert "solutions:         1" in out
+
+    def test_synth_explorer_default_is_bfs(self, capsys):
+        assert main(["synth", "figure2"]) == 0
+        assert "bfs explorer" in capsys.readouterr().out
 
     def test_synth_backend_threads_honors_explicit_count(self, capsys):
         assert main(
