@@ -1,21 +1,23 @@
-"""Model-checker micro-benchmarks: orbit-cache on/off single-candidate checks.
+"""Model-checker benchmarks feeding ``BENCH_mc.json``.
 
-The paper's cost model is "one model-checking run per surviving candidate",
-so the wall-clock of a *single-candidate check* is the number every other
-speedup multiplies.  This bench measures it on the MSI-small skeleton at 3
-replicas (orbit size 3! = 6) with the reference completion, comparing the
-legacy canonicaliser (full orbit search, no memo) against the cached one
-(sorted-replica fast path + orbit-representative memo), and emits
-``BENCH_mc.json``.
+Two single-threaded comparisons (no cpu_count gating needed, unlike
+``BENCH_dist.json``'s multi-worker rows):
 
-This is a *single-threaded* comparison: no cpu_count gating is needed
-(unlike ``BENCH_dist.json``'s multi-worker rows).  Repeated checks against
-one system object model the synthesis engines' actual behaviour — the
-orbit cache is shared across every candidate evaluation of a run.
+* **orbit-cache on/off single-candidate checks** — the paper's cost model
+  is "one model-checking run per surviving candidate", so the wall-clock
+  of a single check is the number every other speedup multiplies.
+  Measured on MSI-small at 3 replicas with the reference completion,
+  legacy canonicaliser (full orbit search) vs the cached one.
 
-A fingerprint-determinism sanity check rides along for the tuple-walk
-``fingerprint_state`` rewrite: per-config visited-set fingerprints must be
-identical across repeated runs.
+* **synthesis with conflict generalisation + prefix reuse on/off** — full
+  MSI-small synthesis at 2 replicas, default config vs the PR 2 baseline
+  (full-width patterns, cold exploration per candidate).  Records the
+  candidates-checked and wall-time reductions, and asserts the solution
+  sets are identical before trusting either number.
+
+Each test merges its section into ``BENCH_mc.json`` so partial runs don't
+clobber the other section.  A fingerprint-determinism sanity check rides
+along for the tuple-walk ``fingerprint_state`` rewrite.
 """
 
 from __future__ import annotations
@@ -25,12 +27,16 @@ import os
 import sys
 import time
 
-from benchmarks.conftest import run_once
+import pytest
+
+from benchmarks.conftest import run_once, small_enabled
+from repro.core import SynthesisConfig, SynthesisEngine
 from repro.mc.bfs import BfsExplorer
 from repro.mc.context import FixedResolver
 from repro.mc.hashing import fingerprint_state_set
 from repro.mc.result import Verdict
 from repro.mc.symmetry import Permuter, ScalarSet
+from repro.protocols.catalog import build_skeleton
 from repro.protocols.msi import defs
 from repro.protocols.msi.skeleton import msi_small
 
@@ -38,6 +44,24 @@ REPLICAS = 3
 #: candidate checks per configuration; >1 exercises the cross-run cache
 #: reuse every synthesis pass gets for free
 REPEATS = 4
+
+
+def update_bench_json(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_mc.json, preserving the others."""
+    data = {}
+    if os.path.exists("BENCH_mc.json"):
+        try:
+            with open("BENCH_mc.json") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    # Drop pre-sectioned legacy top-level keys so the file self-cleans.
+    data = {k: v for k, v in data.items() if k in ("single_candidate", "synthesis")}
+    data[section] = payload
+    data["cpu_count"] = os.cpu_count()
+    with open("BENCH_mc.json", "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def make_resolver(skeleton):
@@ -98,7 +122,6 @@ def test_orbit_cache_single_candidate_speedup(benchmark):
 
     speedup = off_seconds / on_seconds if on_seconds else float("inf")
     payload = {
-        "cpu_count": os.cpu_count(),
         "replicas": REPLICAS,
         "repeats": REPEATS,
         "skeleton": "msi-small",
@@ -118,11 +141,9 @@ def test_orbit_cache_single_candidate_speedup(benchmark):
         ],
         "speedup_cache_on": round(speedup, 3),
     }
-    with open("BENCH_mc.json", "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    update_bench_json("single_candidate", payload)
     sys.__stdout__.write(
-        f"\nBENCH_mc.json written: orbit cache speedup {speedup:.2f}x "
+        f"\nBENCH_mc.json updated: orbit cache speedup {speedup:.2f}x "
         f"({off_seconds:.3f}s -> {on_seconds:.3f}s over {REPEATS} checks)\n"
     )
     sys.__stdout__.flush()
@@ -130,4 +151,80 @@ def test_orbit_cache_single_candidate_speedup(benchmark):
 
     # Generous floor: the acceptance target is >= 1.3x, but wall-clock on a
     # loaded CI box is noisy, so only sanity-assert the cache isn't a loss.
+    assert speedup > 1.0
+
+
+@pytest.mark.skipif(not small_enabled(), reason="VERC3_BENCH_SMALL=0")
+def test_generalised_pruning_synthesis_speedup(benchmark):
+    """MSI-small synthesis: conflict generalisation + prefix reuse on/off.
+
+    Single-threaded sequential runs, so the numbers are meaningful on a
+    1-CPU container.  Correctness gates the measurement: both runs must
+    find byte-identical solution sets.
+    """
+    baseline_config = SynthesisConfig(
+        generalise_conflicts=False, prefix_reuse=False
+    )
+    baseline = SynthesisEngine(build_skeleton("msi-small"), baseline_config).run()
+
+    def generalised_run():
+        return SynthesisEngine(build_skeleton("msi-small"), SynthesisConfig()).run()
+
+    generalised = run_once(benchmark, generalised_run)
+
+    # Correctness before speed: identical solutions and hole registries.
+    def view(report):
+        return sorted(
+            (s.digits, s.assignment, s.states_visited, s.executed_holes)
+            for s in report.solutions
+        )
+
+    assert view(generalised) == view(baseline)
+    assert [h.name for h in generalised.holes] == [h.name for h in baseline.holes]
+
+    candidates_reduction = 1.0 - generalised.evaluated / baseline.evaluated
+    speedup = (
+        baseline.elapsed_seconds / generalised.elapsed_seconds
+        if generalised.elapsed_seconds
+        else float("inf")
+    )
+    payload = {
+        "skeleton": "msi-small",
+        "replicas": 2,
+        "solutions": len(generalised.solutions),
+        "rows": [
+            {
+                "config": "baseline (full-width patterns, cold explorations)",
+                "seconds": round(baseline.elapsed_seconds, 3),
+                "evaluated": baseline.evaluated,
+                "failure_patterns": baseline.failure_patterns,
+            },
+            {
+                "config": "generalise-conflicts + prefix-reuse",
+                "seconds": round(generalised.elapsed_seconds, 3),
+                "evaluated": generalised.evaluated,
+                "failure_patterns": generalised.failure_patterns,
+                "prefix_cache_hits": generalised.prefix_cache_hits,
+                "prefix_states_reused": generalised.prefix_states_reused,
+                "prefix_cache_builds": generalised.prefix_cache_builds,
+            },
+        ],
+        "candidates_reduction": round(candidates_reduction, 4),
+        "speedup": round(speedup, 3),
+    }
+    update_bench_json("synthesis", payload)
+    sys.__stdout__.write(
+        f"\nBENCH_mc.json updated: generalised synthesis "
+        f"{baseline.evaluated} -> {generalised.evaluated} candidates "
+        f"({candidates_reduction:.1%} fewer), "
+        f"{baseline.elapsed_seconds:.1f}s -> "
+        f"{generalised.elapsed_seconds:.1f}s ({speedup:.2f}x)\n"
+    )
+    sys.__stdout__.flush()
+    benchmark.extra_info.update(payload)
+
+    # The acceptance criterion: measurably fewer candidates checked AND a
+    # wall-clock win.  Both margins are wide (≈25% and ≈3x on the dev
+    # container), so assert conservatively for noisy CI boxes.
+    assert generalised.evaluated < baseline.evaluated
     assert speedup > 1.0

@@ -3,9 +3,12 @@
 Commands:
 
 * ``verify <protocol>`` — model check a complete protocol and print the
-  verdict, state counts, and (on failure) the minimal counterexample.
+  verdict, state counts, and (on failure) the counterexample trace.
 * ``synth <skeleton>`` — run hole synthesis on a skeleton and print the
-  report and behavioural solution groups.
+  report and behavioural solution groups.  Defaults to the paper's
+  procedure plus both sound accelerations (conflict-generalised pruning,
+  prefix-reuse search); ``--no-generalise`` / ``--no-prefix-reuse`` /
+  ``--naive`` walk the ablation ladder back to the paper and beyond.
 * ``list`` — list available protocols and skeletons.
 
 Examples::
@@ -13,7 +16,10 @@ Examples::
     python -m repro verify msi --caches 3 --evictions
     python -m repro synth msi-small --backend processes --workers 4
     python -m repro synth msi-small --threads 4
+    python -m repro synth msi-small --no-generalise --no-prefix-reuse
     python -m repro synth mutex --naive
+
+The full flag reference lives in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -93,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
              "ablation)",
     )
     synth.add_argument("--naive", action="store_true", help="disable pruning")
+    synth.add_argument(
+        "--no-generalise", action="store_true",
+        help="record full-width failure patterns (the paper's behaviour) "
+             "instead of replay-minimised conflict patterns",
+    )
+    synth.add_argument(
+        "--no-prefix-reuse", action="store_true",
+        help="re-explore every candidate from the initial states instead "
+             "of resuming from cached shared-prefix explorations",
+    )
     synth.add_argument("--refined", action="store_true",
                        help="refined trace-based pruning patterns")
     synth.add_argument("--solution-limit", type=int, default=None)
@@ -122,6 +138,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
 def cmd_synth(args: argparse.Namespace) -> int:
     config = SynthesisConfig(
         pruning=not args.naive,
+        generalise_conflicts=not args.no_generalise,
+        prefix_reuse=not args.no_prefix_reuse,
         refined_patterns=args.refined,
         solution_limit=args.solution_limit,
         max_evaluations=args.max_evaluations,

@@ -24,19 +24,27 @@ detected arithmetically), and no patterns are kept.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.candidate import CandidateVector
+from repro.core.candidate import WILDCARD, CandidateVector
 from repro.core.discovery import CandidateResolver, DefaultingResolver, HoleRegistry
 from repro.core.enumeration import NaiveEnumerator, SubtreeEnumerator
 from repro.core.hole import Hole
-from repro.core.pruning import DfsMatcher, PruningPattern, PruningTable
+from repro.core.pruning import (
+    DfsMatcher,
+    PruningPattern,
+    PruningTable,
+    generalise_failure,
+)
 from repro.core.report import Solution, SynthesisReport
 from repro.errors import SynthesisError
 from repro.mc.kernel import (
     EXPLORER_STRATEGIES,
+    ExplorationCheckpoint,
     ExplorationKernel,
     ExplorationLimits,
     make_explorer,
@@ -60,10 +68,29 @@ class SynthesisConfig:
         naive_match: match candidates one-by-one against the pattern tables
             (paper-faithful lookup) instead of subtree-skipping DFS.  The
             two are differentially tested to produce identical counts.
+        generalise_conflicts: on every failure, replay the counterexample
+            trace to find the minimal hole conflict it executes and record
+            *that* as the pruning pattern instead of the full candidate
+            width (:func:`repro.core.pruning.generalise_failure`).  Sound,
+            strictly more general, and on by default; ``--no-generalise``
+            on the CLI restores the paper's full-width patterns.  Like
+            prefix reuse, automatically disabled when exploration
+            ``limits`` are set (see :attr:`generalise_active`).
+        prefix_reuse: cache the exploration of shared assignment prefixes
+            (:class:`PrefixCache`) so sibling candidates resume from the
+            cached frontier instead of re-exploring from the initial
+            states.  Verdict-exact; automatically disabled when pruning is
+            off or exploration ``limits`` are set (a truncated exploration
+            depends on visit order, which resumption changes).
+        prefix_cache_capacity: LRU entry cap of the prefix cache; needs to
+            exceed the hole count for the chain to stay warm along one
+            enumeration path.
         refined_patterns: record patterns constraining only the holes
             executed on the minimal error trace instead of the full
             candidate prefix — a strictly stronger, still sound pruning
-            (our extension; benchmarked as an ablation).
+            (our extension; benchmarked as an ablation).  Subsumed by
+            ``generalise_conflicts`` in practice; kept as the
+            kernel-tracking-based fallback and ablation.
         success_patterns: memoise solutions so later passes don't re-verify
             extensions of a known solution whose extra holes are don't-cares.
         subsumption: drop new patterns already implied by stored ones.
@@ -84,6 +111,9 @@ class SynthesisConfig:
 
     pruning: bool = True
     naive_match: bool = False
+    generalise_conflicts: bool = True
+    prefix_reuse: bool = True
+    prefix_cache_capacity: int = 64
     refined_patterns: bool = False
     success_patterns: bool = True
     subsumption: bool = True
@@ -111,6 +141,42 @@ class SynthesisConfig:
                 f"default_action_index must be non-negative, "
                 f"got {self.default_action_index}"
             )
+        if self.prefix_cache_capacity < 1:
+            raise SynthesisError(
+                f"prefix_cache_capacity must be positive, "
+                f"got {self.prefix_cache_capacity}"
+            )
+
+    @property
+    def _limits_unset(self) -> bool:
+        limits = self.limits
+        return limits is None or (
+            limits.max_states is None and limits.max_depth is None
+        )
+
+    @property
+    def prefix_reuse_active(self) -> bool:
+        """Whether candidate evaluations may use the prefix cache.
+
+        Reuse requires pruning-mode (wildcard) semantics, and exploration
+        limits disable it: a truncated exploration's verdict depends on
+        visit order, which resumption changes.
+        """
+        return self.pruning and self.prefix_reuse and self._limits_unset
+
+    @property
+    def generalise_active(self) -> bool:
+        """Whether failure patterns may be conflict-generalised.
+
+        Exploration limits disable generalisation for the same reason they
+        disable prefix reuse: a sibling matching the generalised conflict
+        is guaranteed to *contain* the counterexample, but a truncated
+        exploration is not guaranteed to reach it within budget, so its
+        own verdict could have been UNKNOWN.  Full-width patterns keep
+        that exposure to cross-pass extensions only (the paper's original
+        caveat); generalisation would widen it to same-pass siblings.
+        """
+        return self.generalise_conflicts and self._limits_unset
 
 
 class SynthesisObserver:
@@ -141,6 +207,77 @@ class _StopSynthesis(Exception):
     """Internal: a stop condition (solution/evaluation limit) was reached."""
 
 
+class PrefixCache:
+    """Thread-safe LRU store of prefix-exploration checkpoints.
+
+    Keys are assignment-prefix digit tuples (position ``i`` of the key is
+    hole ``i``'s action index; the registry's discovery order makes this
+    meaning stable across passes and, by name correlation, across worker
+    processes).  A value is either an
+    :class:`~repro.mc.kernel.ExplorationCheckpoint` or ``None`` — a
+    *negative* entry marking a prefix whose exploration already hit a
+    counterexample, so siblings don't rebuild it (every extension of such
+    a prefix fails its own model-checker run and records a pruning
+    pattern there).  Coverage-failing prefixes are cached *positively*:
+    they explored the complete wildcard-free space, so extensions resume
+    to the identical verdict for free.
+
+    Because the enumerator emits candidates in lexicographic order, the
+    live entries at any moment are essentially the checkpoints along the
+    current enumeration path plus a little slack; capacity only needs to
+    exceed the hole count.
+
+    Counters (under the same lock): ``hits`` — candidate evaluations that
+    resumed from a checkpoint; ``builds`` — prefix explorations performed
+    to create checkpoints (the cache's cost side); ``states_reused`` —
+    total states candidate evaluations inherited instead of re-exploring.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[int, ...], Optional[ExplorationCheckpoint]]" = OrderedDict()
+        self._capacity = capacity
+        self.hits = 0
+        self.builds = 0
+        self.states_reused = 0
+
+    def lookup(self, key: Tuple[int, ...]) -> Tuple[bool, Optional[ExplorationCheckpoint]]:
+        """Return ``(found, entry)``; a found ``None`` is a negative entry."""
+        with self._lock:
+            if key not in self._entries:
+                return False, None
+            self._entries.move_to_end(key)
+            return True, self._entries[key]
+
+    def store(self, key: Tuple[int, ...],
+              checkpoint: Optional[ExplorationCheckpoint]) -> None:
+        with self._lock:
+            self._entries[key] = checkpoint
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def note_hit(self, states_reused: int) -> None:
+        with self._lock:
+            self.hits += 1
+            self.states_reused += states_reused
+
+    def note_build(self) -> None:
+        with self._lock:
+            self.builds += 1
+
+    def counters(self) -> Tuple[int, int, int]:
+        """Snapshot of ``(hits, builds, states_reused)``."""
+        with self._lock:
+            return self.hits, self.builds, self.states_reused
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 class SynthesisCore:
     """State and per-candidate logic shared by the engines.
 
@@ -155,6 +292,7 @@ class SynthesisCore:
         config: SynthesisConfig,
         observer: Optional[SynthesisObserver] = None,
         registry: Optional[HoleRegistry] = None,
+        prefix_cache: Optional[PrefixCache] = None,
     ) -> None:
         self.system = system
         self.config = config
@@ -162,10 +300,23 @@ class SynthesisCore:
         self.registry = registry if registry is not None else HoleRegistry()
         self.fail_table = PruningTable(subsumption=config.subsumption)
         self.success_table = PruningTable(subsumption=config.subsumption)
+        if not config.prefix_reuse_active:
+            self.prefix_cache: Optional[PrefixCache] = None
+        elif prefix_cache is not None:
+            # A caller-owned cache outliving this core (the process-backend
+            # worker keeps one across passes; keys stay valid because the
+            # canonical hole order only ever appends).
+            self.prefix_cache = prefix_cache
+        else:
+            self.prefix_cache = PrefixCache(config.prefix_cache_capacity)
         self.solutions: List[Solution] = []
         self.evaluated = 0
         self.deduplicated = 0
         self.verdict_counts: Dict[str, int] = {"success": 0, "failure": 0, "unknown": 0}
+        #: merged prefix-cache counters from other cores (the distributed
+        #: coordinator folds worker deltas in here; finalize_report adds
+        #: this core's own cache counters on top)
+        self.merged_prefix_counters = [0, 0, 0]  # hits, builds, states_reused
         self.inherent_failure = False
         self.inherent_failure_message = ""
         self.stopped_early = False
@@ -180,6 +331,19 @@ class SynthesisCore:
         )
 
     def evaluate(self, vector: CandidateVector) -> Tuple[VerificationResult, ExplorationKernel]:
+        cache = self.prefix_cache
+        resume: Optional[ExplorationCheckpoint] = None
+        collect = False
+        cacheable = cache is not None and not any(
+            entry is WILDCARD for entry in vector.entries
+        )
+        if cacheable:
+            if len(vector) == 0:
+                # The initial run *is* the empty-prefix exploration; keep
+                # its checkpoint so pass-1 candidates resume from it.
+                collect = True
+            else:
+                resume = self._resume_checkpoint(vector.entries, cache)
         explorer = make_explorer(
             self.config.explorer,
             self.system,
@@ -187,8 +351,74 @@ class SynthesisCore:
             limits=self.config.limits,
             record_traces=self.config.record_traces,
             track_hole_paths=self.config.refined_patterns,
+            resume_from=resume,
+            collect_checkpoint=collect,
         )
-        return explorer.run(), explorer
+        result = explorer.run()
+        if collect:
+            cache.store((), explorer.checkpoint)
+        if resume is not None:
+            cache.note_hit(result.stats.prefix_states_reused)
+        return result, explorer
+
+    def _resume_checkpoint(
+        self, digits: Tuple[int, ...], cache: PrefixCache
+    ) -> Optional[ExplorationCheckpoint]:
+        """Deepest usable checkpoint for a candidate, building the chain.
+
+        Walks the cache for the longest already-built prefix of ``digits``,
+        then extends the chain one digit at a time (each level resuming
+        from the previous) up to the parent prefix ``digits[:-1]``.  A
+        level whose exploration hits a counterexample (invariant/deadlock)
+        is stored as a negative entry and stops the chain — the candidate
+        still resumes from the deepest good level below it.  A level
+        failing only *coverage* checkpoints normally: it was a complete,
+        wildcard-free exploration, so resumed extensions inherit the same
+        verdict instantly instead of re-exploring.
+        """
+        n = len(digits)
+        best: Optional[ExplorationCheckpoint] = None
+        best_len = -1
+        blocked: Optional[int] = None
+        for k in range(n - 1, -1, -1):
+            found, entry = cache.lookup(tuple(digits[:k]))
+            if not found:
+                continue
+            if entry is None:
+                blocked = k
+                continue
+            best, best_len = entry, k
+            break
+        last_good = best
+        for k in range((best_len + 1) if best is not None else 0, n):
+            if blocked is not None and k >= blocked:
+                break
+            built = self._build_prefix_checkpoint(tuple(digits[:k]), last_good, cache)
+            if built is None:
+                break
+            last_good = built
+        return last_good
+
+    def _build_prefix_checkpoint(
+        self,
+        prefix: Tuple[int, ...],
+        resume: Optional[ExplorationCheckpoint],
+        cache: PrefixCache,
+    ) -> Optional[ExplorationCheckpoint]:
+        explorer = make_explorer(
+            self.config.explorer,
+            self.system,
+            resolver=self.make_resolver(CandidateVector.from_digits(prefix)),
+            limits=self.config.limits,
+            record_traces=self.config.record_traces,
+            track_hole_paths=self.config.refined_patterns,
+            resume_from=resume,
+            collect_checkpoint=True,
+        )
+        explorer.run()
+        cache.store(prefix, explorer.checkpoint)
+        cache.note_build()
+        return explorer.checkpoint
 
     def run_initial(self) -> None:
         """Run 1 of the paper: the empty candidate discovers the first holes.
@@ -249,6 +479,15 @@ class SynthesisCore:
         report.inherent_failure = self.inherent_failure
         report.inherent_failure_message = self.inherent_failure_message
         report.stopped_early = self.stopped_early
+        hits, builds, reused = self.merged_prefix_counters
+        if self.prefix_cache is not None:
+            own_hits, own_builds, own_reused = self.prefix_cache.counters()
+            hits += own_hits
+            builds += own_builds
+            reused += own_reused
+        report.prefix_cache_hits = hits
+        report.prefix_cache_builds = builds
+        report.prefix_states_reused = reused
         return report
 
     def handle_result(
@@ -304,6 +543,10 @@ class SynthesisCore:
     def _pattern_for_failure(
         self, digits: Tuple[int, ...], result: VerificationResult
     ) -> PruningPattern:
+        if self.config.generalise_active:
+            pattern = generalise_failure(self.system, self.registry, digits, result)
+            if pattern is not None:
+                return pattern
         if self.config.refined_patterns and result.failure_holes is not None:
             constraints = []
             for hole in result.failure_holes:

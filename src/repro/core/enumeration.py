@@ -15,7 +15,12 @@ index subrange, which is how parallel workers split the space):
   ``d``, the whole subtree (``prod(radices[d+1:])`` candidates) is skipped
   and counted analytically.  This is our CPython-feasible replacement for
   the paper's per-candidate lookup over billions of candidates (DESIGN.md,
-  substitution 1).
+  substitution 1).  Because a pattern fires the moment its *last*
+  constrained position is pushed, conflict-generalised patterns
+  (:func:`~repro.core.pruning.generalise_failure`) — whose highest
+  constrained position is the end of the shortest failure-forcing prefix —
+  cut subtrees at the shallowest sound depth, once per matching assignment
+  of their (possibly sparse) constrained positions.
 * :class:`NaiveEnumerator` — visits every index and performs a flat
   per-candidate table match: the paper-faithful behaviour, used for the
   small problem sizes and for differential testing of the subtree walker.

@@ -26,6 +26,16 @@ The same machinery is reused for *success patterns* (solutions found in an
 earlier pass whose unconstrained holes are provably unreachable and hence
 don't-cares): matching candidates are skipped without being re-verified or
 double-counted.
+
+Conflict generalisation (:func:`generalise_failure`) strengthens the
+recorded failure patterns beyond the paper: instead of constraining every
+assigned position of the failed candidate, the counterexample trace is
+*replayed* to find the exact hole subset it executes — the minimal conflict
+— and only those positions are constrained.  Because the pattern's highest
+constrained position bounds the shortest assignment prefix that already
+forces the counterexample, the subtree-skipping enumerator can discard the
+entire subtree below that prefix, which is exponentially larger than what
+the full-width pattern could cut.
 """
 
 from __future__ import annotations
@@ -34,6 +44,9 @@ import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.candidate import WILDCARD, CandidateVector
+from repro.errors import WildcardEncountered
+from repro.mc.context import ExecutionContext
+from repro.mc.result import FailureKind, VerificationResult
 
 
 class PruningPattern:
@@ -252,3 +265,76 @@ class DfsMatcher:
     @property
     def pattern_count(self) -> int:
         return len(self._patterns)
+
+
+def generalise_failure(
+    system,
+    registry,
+    digits: Sequence[int],
+    result: VerificationResult,
+) -> Optional[PruningPattern]:
+    """Minimal-conflict pattern for a failed candidate, via trace replay.
+
+    Soundness is the paper's Section II argument made exact: the
+    counterexample trace is replayed firing by firing under the failed
+    candidate's assignment, recording precisely which holes execute.  Any
+    candidate agreeing on those positions replays the same trace (guards
+    are hole-free; firings that resolved no further holes are
+    assignment-independent) and therefore contains the same violation, so
+    the returned pattern constrains *only* the replayed conflict — every
+    other position becomes a wildcard, including assigned positions the
+    failure never touched.
+
+    For DEADLOCK failures the conflict additionally includes every hole
+    executed by the (successor-less) rule firings attempted at the final
+    state: a candidate disagreeing there could enable an escape.
+
+    Returns ``None`` — callers fall back to the full-width pattern — when
+    no trace is available (COVERAGE failures, ``record_traces=False``) or
+    the replay cannot reproduce the trace (nondeterministic rule bodies,
+    an unexpected wildcard).  An *empty* pattern is a genuine result: the
+    trace executed no holes at all, so the skeleton fails identically
+    under every assignment (the engine reports an inherent failure).
+    """
+    trace = result.trace
+    if trace is None or result.failure_kind is FailureKind.COVERAGE:
+        return None
+    from repro.core.discovery import CandidateResolver
+
+    vector = CandidateVector.from_digits(tuple(digits))
+    ctx = ExecutionContext(CandidateResolver(registry, vector))
+    rules_by_name = {rule.name: rule for rule in system.rules}
+    state = trace.initial_state
+    executed: set = set()
+    for step in trace.steps[1:]:
+        rule = rules_by_name.get(step.rule_name)
+        if rule is None:
+            return None
+        ctx.begin_firing()
+        try:
+            successors = rule.fire(state, ctx)
+        except WildcardEncountered:
+            return None
+        executed |= ctx.firing_executed_holes
+        if not any(successor == step.state for successor in successors):
+            return None
+        state = step.state
+    if result.failure_kind is FailureKind.DEADLOCK:
+        for rule in system.rules:
+            if not rule.guard(state):
+                continue
+            ctx.begin_firing()
+            try:
+                successors = rule.fire(state, ctx)
+            except WildcardEncountered:
+                return None
+            if successors:
+                return None  # not the deadlock the verdict reported
+            executed |= ctx.firing_executed_holes
+    constraints = []
+    for hole in executed:
+        position = registry.position_of(hole, register=False)
+        if position is None or position >= len(digits):
+            return None
+        constraints.append((position, digits[position]))
+    return PruningPattern(constraints)

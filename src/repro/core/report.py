@@ -77,6 +77,11 @@ class SynthesisReport:
     success_patterns: int = 0
     solutions: List[Solution] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: prefix exploration cache (see repro.core.engine.PrefixCache):
+    #: candidate runs resumed / checkpoint builds / states inherited
+    prefix_cache_hits: int = 0
+    prefix_cache_builds: int = 0
+    prefix_states_reused: int = 0
     inherent_failure: bool = False
     inherent_failure_message: str = ""
     stopped_early: bool = False
@@ -155,6 +160,13 @@ class SynthesisReport:
             f"solutions:         {len(self.solutions)}",
             f"elapsed:           {self.elapsed_seconds:.3f}s",
         ]
+        if self.prefix_cache_hits or self.prefix_cache_builds:
+            lines.insert(
+                -1,
+                f"prefix cache:      {self.prefix_cache_hits:,} resumed runs, "
+                f"{self.prefix_states_reused:,} states reused "
+                f"({self.prefix_cache_builds:,} checkpoint builds)",
+            )
         if self.inherent_failure:
             lines.append(f"INHERENT FAILURE:  {self.inherent_failure_message}")
         for solution in self.solutions:

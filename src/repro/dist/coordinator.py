@@ -415,6 +415,9 @@ class DistributedSynthesisEngine:
         report.skipped_success += result.skipped.get(SUCCESS_TAG, 0)
         core.evaluated += result.evaluated
         core.deduplicated += result.deduplicated
+        core.merged_prefix_counters[0] += result.prefix_cache_hits
+        core.merged_prefix_counters[1] += result.prefix_cache_builds
+        core.merged_prefix_counters[2] += result.prefix_states_reused
         for verdict, count in result.verdict_counts.items():
             core.verdict_counts[verdict] = (
                 core.verdict_counts.get(verdict, 0) + count

@@ -138,6 +138,12 @@ class BatchResult:
     new_holes: Tuple[HoleSpec, ...] = ()
     #: run_index is 1-based *within this batch* (coordinator rebases)
     solutions: Tuple[Solution, ...] = ()
+    #: prefix-cache deltas (hits, checkpoint builds, states reused) — the
+    #: worker's cache outlives batches and passes, so these are per-batch
+    #: differences of its counters, mergeable like every other field here
+    prefix_cache_hits: int = 0
+    prefix_cache_builds: int = 0
+    prefix_states_reused: int = 0
     budget_exhausted: bool = False
     inherent_failure: bool = False
     inherent_failure_message: str = ""

@@ -30,6 +30,7 @@ from dataclasses import replace
 from typing import Optional, Sequence, Tuple
 
 from repro.core.engine import (
+    PrefixCache,
     SynthesisConfig,
     SynthesisCore,
     _PassWalker,
@@ -125,6 +126,15 @@ class BatchRunner:
         self.core: Optional[SynthesisCore] = None
         self._radices: Tuple[int, ...] = ()
         self._first_new = 0
+        # One prefix cache for the worker's lifetime: checkpoints stay
+        # valid across passes (and their pass-local cores) because the
+        # canonical hole order only appends and the rebuilt system — hole
+        # objects included — is owned by this process throughout.
+        self._prefix_cache: Optional[PrefixCache] = (
+            PrefixCache(self._config.prefix_cache_capacity)
+            if self._config.prefix_reuse_active
+            else None
+        )
 
     def start_pass(self, msg: PassStart) -> None:
         if msg.explorer != self._config.explorer:
@@ -136,6 +146,7 @@ class BatchRunner:
             self.system,
             replace(self._config),
             registry=WorkerHoleRegistry(msg.hole_specs),
+            prefix_cache=self._prefix_cache,
         )
         for constraints in msg.fail_patterns:
             core.fail_table.add(PruningPattern(constraints))
@@ -161,6 +172,11 @@ class BatchRunner:
         evaluated_seen = core.evaluated
         deduplicated_seen = core.deduplicated
         verdicts_seen = dict(core.verdict_counts)
+        prefix_seen = (
+            core.prefix_cache.counters()
+            if core.prefix_cache is not None
+            else (0, 0, 0)
+        )
         if task.eval_budget is not None:
             core.config.max_evaluations = core.evaluated + task.eval_budget
         else:
@@ -176,6 +192,11 @@ class BatchRunner:
             core.stopped_early = False
 
         holes = core.registry.holes
+        prefix_now = (
+            core.prefix_cache.counters()
+            if core.prefix_cache is not None
+            else (0, 0, 0)
+        )
         return BatchResult(
             worker_id=self.worker_id,
             batch_id=task.batch_id,
@@ -199,6 +220,9 @@ class BatchRunner:
                 replace(solution, run_index=solution.run_index - evaluated_seen)
                 for solution in core.solutions[solutions_seen:]
             ),
+            prefix_cache_hits=prefix_now[0] - prefix_seen[0],
+            prefix_cache_builds=prefix_now[1] - prefix_seen[1],
+            prefix_states_reused=prefix_now[2] - prefix_seen[2],
             budget_exhausted=budget_exhausted,
             inherent_failure=core.inherent_failure,
             inherent_failure_message=core.inherent_failure_message,

@@ -1,10 +1,13 @@
 """Explicit-state model checking substrate (the paper's embedded checker).
 
 This subpackage implements the Murphi-like modelling and verification layer
-that VerC3 embeds: guarded-command transition systems over immutable states,
-breadth-first search that yields minimal error traces, scalarset symmetry
-reduction, and three-valued verdicts (SUCCESS / FAILURE / UNKNOWN) so the
-synthesis layer can reason about candidates containing wildcard holes.
+that VerC3 embeds: guarded-command transition systems over immutable
+states, one unified exploration kernel (:mod:`repro.mc.kernel`)
+parameterised by a frontier strategy — FIFO/"bfs" for minimal error
+traces, LIFO/"dfs" as the ablation — with resumable prefix checkpoints,
+scalarset symmetry reduction with a cached canonicaliser, and three-valued
+verdicts (SUCCESS / FAILURE / UNKNOWN) so the synthesis layer can reason
+about candidates containing wildcard holes.
 """
 
 from repro.mc.bfs import BfsExplorer

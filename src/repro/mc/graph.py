@@ -1,8 +1,10 @@
 """Optional capture of the explored state graph.
 
-Pass a :class:`StateGraph` to :class:`~repro.mc.bfs.BfsExplorer` to record
-every visited state and transition.  Used by the Figure 2 walkthrough
-example and by debugging workflows (GraphViz export).
+Pass a :class:`StateGraph` as ``capture_graph`` to any explorer — the
+kernel, :class:`~repro.mc.bfs.BfsExplorer`, or
+:class:`~repro.mc.dfs.DfsExplorer` — to record every visited state and
+transition.  Used by the Figure 2 walkthrough example and by debugging
+workflows (GraphViz export).
 """
 
 from __future__ import annotations

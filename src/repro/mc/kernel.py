@@ -38,6 +38,31 @@ candidate pruning leans on — a short trace touches few holes), while LIFO
 traces may be longer.  The synthesis engines therefore default to the
 FIFO strategy; LIFO is available everywhere (``SynthesisConfig.explorer``,
 CLI ``--explorer dfs``) for verification workloads and ablations.
+
+Prefix checkpoints (the synthesis layer's exploration cache)
+------------------------------------------------------------
+
+A run whose resolver assigns only a *prefix* of the candidate vector cuts
+every execution branch that resolves an unassigned hole.  The states such a
+run visits — and the verdict-relevant classification of each — are
+therefore shared by **every** candidate extending the prefix: firings that
+completed without a wildcard touched only prefix holes and behave
+identically under any extension.  ``collect_checkpoint=True`` captures that
+shared work as an :class:`ExplorationCheckpoint` (visited set, parent
+store, the wildcard-cut states, pending coverage, counters) once the
+frontier drains without a definite failure; ``resume_from=checkpoint``
+seeds a later run with it, so only the cut states are re-expanded and only
+genuinely new states are explored.  :class:`~repro.core.engine.PrefixCache`
+chains these checkpoints digit by digit across sibling candidates.
+
+Resumption is verdict-exact: the resumed run reports the same verdict, the
+same ``states_visited``, the same executed holes, and the same
+wildcard/coverage classification a from-scratch run of the full candidate
+would.  ``rules_attempted``/``transitions_fired`` may double-count at the
+resume seam (cut states re-fire all their rules) and counterexample traces
+through inherited states reuse the prefix run's parent edges, which are
+valid but not always depth-minimal.  ``RunStats.prefix_states_reused``
+records how many states a run inherited instead of re-exploring.
 """
 
 from __future__ import annotations
@@ -59,6 +84,49 @@ class ExplorationLimits:
 
     max_states: Optional[int] = None
     max_depth: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ExplorationCheckpoint:
+    """The reusable outcome of a completed prefix exploration.
+
+    Everything here is immutable (or treated as such): resuming copies the
+    containers into kernel-local state, so one checkpoint can seed many
+    runs — including concurrently, under the threads backend.
+
+    Attributes:
+        visited: canonical state -> state id for every state the prefix
+            run interned (all of which passed the invariants).
+        originals: state id -> the state as first discovered.
+        parents: state id -> ``(parent_sid, rule_name)`` discovery edge, or
+            ``None`` for initial states (and everything, when the producing
+            run had ``record_traces=False``).
+        cut_states: ``(sid, depth)`` of every state where a rule firing was
+            wildcard-cut, in ascending depth order.  These are the only
+            inherited states a resumed run re-expands: their classification
+            (successors? deadlock?) depends on holes the prefix left
+            unassigned.
+        pending_coverage: names of coverage properties no visited state
+            satisfied yet.
+        states_visited / transitions / attempts / max_depth: counter
+            seeds, so resumed stats match a from-scratch run.
+        executed_holes: holes resolved during the prefix run (a subset of
+            the prefix; seeds the resumed run's executed set).
+        hole_paths: per-sid discovery-path hole sets when the producing run
+            tracked them (``track_hole_paths``), else ``None``.
+    """
+
+    visited: Dict[Any, int]
+    originals: Tuple[Any, ...]
+    parents: Tuple[Optional[Tuple[int, str]], ...]
+    cut_states: Tuple[Tuple[int, int], ...]
+    pending_coverage: Tuple[str, ...]
+    states_visited: int
+    transitions: int
+    attempts: int
+    max_depth: int
+    executed_holes: frozenset
+    hole_paths: Optional[Tuple[frozenset, ...]] = None
 
 
 class FrontierStrategy:
@@ -128,6 +196,18 @@ class ExplorationKernel:
             :mod:`repro.core.pruning`).
         capture_graph: optionally pass a :class:`repro.mc.graph.StateGraph`
             to receive every state and transition (for visualisation).
+        resume_from: an :class:`ExplorationCheckpoint` from a run whose
+            assignment this run's resolver extends; inherited states are
+            not re-explored (see the module docstring).  The caller is
+            responsible for the extension relationship and for matching
+            ``record_traces``/``track_hole_paths``.
+        collect_checkpoint: capture :attr:`checkpoint` when the frontier
+            drains without truncation and without an invariant/deadlock
+            failure; it stays ``None`` otherwise.  A COVERAGE failure —
+            which is only definite on a complete, wildcard-free
+            exploration — *does* checkpoint, deliberately: such a prefix
+            explores the identical space as every extension, so resumed
+            runs (empty cut set) return the same verdict immediately.
     """
 
     def __init__(
@@ -139,6 +219,8 @@ class ExplorationKernel:
         record_traces: bool = True,
         track_hole_paths: bool = False,
         capture_graph: Any = None,
+        resume_from: Optional[ExplorationCheckpoint] = None,
+        collect_checkpoint: bool = False,
     ) -> None:
         if isinstance(strategy, str):
             try:
@@ -155,6 +237,21 @@ class ExplorationKernel:
         self.record_traces = record_traces
         self.track_hole_paths = track_hole_paths
         self.capture_graph = capture_graph
+        if (
+            resume_from is not None
+            and track_hole_paths
+            and resume_from.hole_paths is None
+        ):
+            raise ModelError(
+                "cannot resume a hole-path-tracking run from a checkpoint "
+                "recorded without track_hole_paths"
+            )
+        self.resume_from = resume_from
+        self.collect_checkpoint = collect_checkpoint
+        #: populated by :meth:`run` when ``collect_checkpoint`` was set and
+        #: the exploration drained without truncation or a counterexample
+        #: (COVERAGE failures still checkpoint; see the constructor docs)
+        self.checkpoint: Optional[ExplorationCheckpoint] = None
         #: canonical state -> state id, filled during :meth:`run`
         self.visited_states: Dict[Any, int] = {}
 
@@ -170,6 +267,7 @@ class ExplorationKernel:
         originals: List[Any] = []
         hole_paths: List[frozenset] = []
         pending_coverage = list(system.coverage)
+        cut_states: List[Tuple[int, int]] = []
 
         states_visited = 0
         transitions = 0
@@ -177,6 +275,22 @@ class ExplorationKernel:
         wildcard_cuts = 0
         max_depth = 0
         truncated = False
+        resume = self.resume_from
+        states_reused = 0
+        if resume is not None:
+            visited.update(resume.visited)
+            originals.extend(resume.originals)
+            parents.extend(resume.parents)
+            if self.track_hole_paths:
+                hole_paths.extend(resume.hole_paths)
+            pending = set(resume.pending_coverage)
+            pending_coverage = [p for p in pending_coverage if p.name in pending]
+            states_visited = resume.states_visited
+            states_reused = resume.states_visited
+            transitions = resume.transitions
+            attempts = resume.attempts
+            max_depth = resume.max_depth
+            ctx.run_executed_holes.update(resume.executed_holes)
 
         # The orbit cache (repro.mc.symmetry.CachingCanonicalizer) is
         # shared across runs of the same system; report per-run hit deltas.
@@ -241,6 +355,7 @@ class ExplorationKernel:
                 truncated=truncated,
                 canon_cache_hits=getattr(canonicalize, "hits", 0) - cache_hits_base,
                 canon_cache_size=getattr(canonicalize, "size", 0),
+                prefix_states_reused=states_reused,
             )
 
         def failure(kind: FailureKind, message: str, sid: int,
@@ -259,18 +374,26 @@ class ExplorationKernel:
                 failure_holes=relevant,
             )
 
-        # Seed with initial states (checking invariants on them too).
-        for state in system.initial_states():
-            sid, is_new = register(state, None, 0, frozenset())
-            if not is_new:
-                continue
-            for invariant in system.invariants:
-                if not invariant.holds(state):
-                    return failure(
-                        FailureKind.INVARIANT,
-                        f"invariant {invariant.name!r} violated in an initial state",
-                        sid,
-                    )
+        if resume is not None:
+            # Inherited states already passed the invariants; only the
+            # wildcard-cut states need re-expansion (their classification
+            # depends on holes this run's resolver now assigns).
+            for sid, depth in resume.cut_states:
+                frontier.append((originals[sid], sid, depth))
+        else:
+            # Seed with initial states (checking invariants on them too).
+            for state in system.initial_states():
+                sid, is_new = register(state, None, 0, frozenset())
+                if not is_new:
+                    continue
+                for invariant in system.invariants:
+                    if not invariant.holds(state):
+                        return failure(
+                            FailureKind.INVARIANT,
+                            f"invariant {invariant.name!r} violated in an "
+                            f"initial state",
+                            sid,
+                        )
 
         while frontier:
             if limits.max_states is not None and states_visited >= limits.max_states:
@@ -322,7 +445,9 @@ class ExplorationKernel:
                                 new_sid,
                             )
 
-            if not produced_successor and not cut_here:
+            if cut_here:
+                cut_states.append((sid, depth))
+            elif not produced_successor:
                 if system.deadlock.is_deadlock(state):
                     return failure(
                         FailureKind.DEADLOCK,
@@ -330,6 +455,22 @@ class ExplorationKernel:
                         sid,
                         extra_holes=frozenset(holes_at_state),
                     )
+
+        if self.collect_checkpoint and not truncated:
+            cut_states.sort(key=lambda entry: entry[1])
+            self.checkpoint = ExplorationCheckpoint(
+                visited=dict(visited),
+                originals=tuple(originals),
+                parents=tuple(parents),
+                cut_states=tuple(cut_states),
+                pending_coverage=tuple(prop.name for prop in pending_coverage),
+                states_visited=states_visited,
+                transitions=transitions,
+                attempts=attempts,
+                max_depth=max_depth,
+                executed_holes=frozenset(ctx.run_executed_holes),
+                hole_paths=tuple(hole_paths) if self.track_hole_paths else None,
+            )
 
         unmet = tuple(prop.name for prop in pending_coverage)
         if unmet and not ctx.run_wildcard_encountered and not truncated:
@@ -371,6 +512,8 @@ def make_explorer(
     record_traces: bool = True,
     track_hole_paths: bool = False,
     capture_graph: Any = None,
+    resume_from: Optional[ExplorationCheckpoint] = None,
+    collect_checkpoint: bool = False,
 ) -> ExplorationKernel:
     """Build a kernel for a registered strategy name (``bfs``/``dfs``).
 
@@ -387,4 +530,6 @@ def make_explorer(
         record_traces=record_traces,
         track_hole_paths=track_hole_paths,
         capture_graph=capture_graph,
+        resume_from=resume_from,
+        collect_checkpoint=collect_checkpoint,
     )

@@ -4,7 +4,7 @@ Three property classes cover what the paper's case study needs:
 
 * :class:`Invariant` — a predicate that must hold in *every* reachable
   state (e.g. the Single-Writer-Multiple-Reader invariant).  Violations
-  yield a minimal error trace.
+  yield an error trace (minimal under the FIFO frontier strategy).
 * :class:`DeadlockPolicy` — whether states with no outgoing transitions are
   failures.  A ``quiescent`` predicate whitelists states that are allowed to
   be terminal.

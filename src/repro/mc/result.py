@@ -51,6 +51,12 @@ class RunStats:
     include concurrent runs' hits — diagnostics, not an exact measure).
     Both are 0 when the system canonicalises without a
     :class:`~repro.mc.symmetry.CachingCanonicalizer`.
+
+    ``prefix_states_reused`` counts the states this run inherited from a
+    prefix-exploration checkpoint instead of re-exploring (0 for cold
+    runs; see :class:`~repro.mc.kernel.ExplorationCheckpoint`).  They are
+    included in ``states_visited``, which therefore matches a from-scratch
+    run of the same candidate.
     """
 
     states_visited: int = 0
@@ -61,6 +67,7 @@ class RunStats:
     truncated: bool = False
     canon_cache_hits: int = 0
     canon_cache_size: int = 0
+    prefix_states_reused: int = 0
 
     def merged_with(self, other: "RunStats") -> "RunStats":
         return RunStats(
@@ -72,6 +79,8 @@ class RunStats:
             truncated=self.truncated or other.truncated,
             canon_cache_hits=self.canon_cache_hits + other.canon_cache_hits,
             canon_cache_size=max(self.canon_cache_size, other.canon_cache_size),
+            prefix_states_reused=self.prefix_states_reused
+            + other.prefix_states_reused,
         )
 
 

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.analysis.grouping import describe_groups, group_solutions
-from repro.analysis.stats import RunComparison, compare_reports, estimate_naive_seconds
+from repro.analysis.stats import (
+    RunComparison,
+    compare_reports,
+    estimate_naive_seconds,
+    pattern_economy,
+)
 from repro.analysis.tables import format_table, render_table1_row
 from repro.core.report import Solution, SynthesisReport
 from repro.core.hole import Hole
@@ -70,6 +75,14 @@ class TestComparisons:
         assert comparison.evaluated_reduction == pytest.approx(0.9)
         assert comparison.speedup == pytest.approx(10.0)
         assert "90.0% reduction" in comparison.summary()
+
+    def test_pattern_economy(self):
+        report = SynthesisReport(system_name="s", pruning=True, threads=1)
+        report.pruned_failure = 120
+        report.failure_patterns = 4
+        assert pattern_economy(report) == pytest.approx(30.0)
+        report.failure_patterns = 0
+        assert pattern_economy(report) == 0.0
 
     def test_estimated_baseline_flagged(self):
         comparison = RunComparison(10, 1, 5.0, 1.0, baseline_estimated=True)

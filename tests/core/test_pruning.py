@@ -124,6 +124,169 @@ class TestDfsMatcher:
         assert not matcher.fully_matched((1,))
 
 
+class TestGeneraliseFailure:
+    """Conflict generalisation: replay the counterexample, constrain only
+    the holes it executes."""
+
+    @staticmethod
+    def _fork_setup():
+        """s0 --H0--> {left: 10, right: 20}; 10 --HA--> {err, ok};
+        20 --HB--> {ok, err}.  Three holes, but any one failure trace
+        executes exactly two of them."""
+        from repro.core.action import Action
+        from repro.core.discovery import CandidateResolver, HoleRegistry
+        from repro.core.hole import Hole
+        from repro.mc.properties import DeadlockPolicy, Invariant
+        from repro.mc.rule import Rule
+        from repro.mc.system import TransitionSystem
+
+        h0 = Hole("h0", [Action("L", payload=10), Action("R", payload=20)])
+        ha = Hole("ha", [Action("x", payload=-1), Action("y", payload=99)])
+        hb = Hole("hb", [Action("x", payload=98), Action("y", payload=-1)])
+
+        def chooser(hole):
+            def apply(state, ctx, _hole=hole):
+                return [ctx.resolve(_hole).payload]
+
+            return apply
+
+        system = TransitionSystem(
+            name="fork",
+            initial_states=[0],
+            rules=[
+                Rule("r0", guard=lambda s: s == 0, apply=chooser(h0)),
+                Rule("ra", guard=lambda s: s == 10, apply=chooser(ha)),
+                Rule("rb", guard=lambda s: s == 20, apply=chooser(hb)),
+            ],
+            invariants=[Invariant("no-err", lambda s: s != -1)],
+            deadlock=DeadlockPolicy.fail(quiescent=lambda s: s in (98, 99)),
+        )
+        registry = HoleRegistry()
+        for hole in (h0, ha, hb):
+            registry.position_of(hole, register=True)
+        return system, registry, CandidateResolver
+
+    def _check(self, digits):
+        from repro.core.candidate import CandidateVector
+        from repro.core.pruning import generalise_failure
+        from repro.mc.kernel import ExplorationKernel
+
+        system, registry, CandidateResolver = self._fork_setup()
+        resolver = CandidateResolver(registry, CandidateVector.from_digits(digits))
+        result = ExplorationKernel(system, resolver=resolver).run()
+        assert result.is_failure
+        return generalise_failure(system, registry, digits, result)
+
+    def test_untouched_hole_dropped_from_pattern(self):
+        # <L, x, ?> fails through h0 and ha only; hb's assignment (either
+        # value) never executes, so the pattern must not constrain it.
+        assert self._check((0, 0, 0)).constraints == ((0, 0), (1, 0))
+        assert self._check((0, 0, 1)).constraints == ((0, 0), (1, 0))
+
+    def test_other_branch_symmetry(self):
+        # <R, ?, y> fails through h0 and hb only.
+        assert self._check((1, 0, 1)).constraints == ((0, 1), (2, 1))
+        assert self._check((1, 1, 1)).constraints == ((0, 1), (2, 1))
+
+    def test_max_position_bounds_forcing_prefix(self):
+        # The generalised pattern's last constrained position marks the end
+        # of the shortest failure-forcing assignment prefix — the subtree
+        # enumerator cuts everything below it.  <L, x, *> forces the
+        # counterexample, so the pattern fires at position 1, not 2.
+        pattern = self._check((0, 0, 1))
+        assert pattern.max_position == 1
+
+    def test_coverage_failure_is_not_generalised(self):
+        from repro.mc.result import FailureKind, Verdict, VerificationResult
+        from repro.core.pruning import generalise_failure
+
+        system, registry, _ = self._fork_setup()
+        result = VerificationResult(
+            verdict=Verdict.FAILURE,
+            failure_kind=FailureKind.COVERAGE,
+            message="coverage not met: x",
+        )
+        assert generalise_failure(system, registry, (0, 0, 0), result) is None
+
+    def test_deadlock_includes_final_state_holes(self):
+        from repro.core.action import Action
+        from repro.core.candidate import CandidateVector
+        from repro.core.discovery import CandidateResolver, HoleRegistry
+        from repro.core.hole import Hole
+        from repro.core.pruning import generalise_failure
+        from repro.mc.kernel import ExplorationKernel
+        from repro.mc.properties import DeadlockPolicy
+        from repro.mc.rule import Rule
+        from repro.mc.system import TransitionSystem
+
+        h0 = Hole("h0", [Action("go", payload=30)])
+        hd = Hole("hd", [Action("stall", payload=None), Action("run", payload=77)])
+
+        def apply0(state, ctx):
+            return [ctx.resolve(h0).payload]
+
+        def applyd(state, ctx):
+            target = ctx.resolve(hd).payload
+            return [] if target is None else [target]
+
+        system = TransitionSystem(
+            name="stall",
+            initial_states=[0],
+            rules=[
+                Rule("r0", guard=lambda s: s == 0, apply=apply0),
+                Rule("rd", guard=lambda s: s == 30, apply=applyd),
+            ],
+            deadlock=DeadlockPolicy.fail(quiescent=lambda s: s == 77),
+        )
+        registry = HoleRegistry()
+        registry.position_of(h0, register=True)
+        registry.position_of(hd, register=True)
+        digits = (0, 0)  # go, then stall: deadlock at 30
+        resolver = CandidateResolver(registry, CandidateVector.from_digits(digits))
+        result = ExplorationKernel(system, resolver=resolver).run()
+        assert result.is_failure
+        # hd never fires a transition, but its choice is what blocks the
+        # escape from state 30 — the conflict must constrain it.
+        pattern = generalise_failure(system, registry, digits, result)
+        assert pattern.constraints == ((0, 0), (1, 0))
+
+    def test_hole_free_trace_yields_empty_pattern(self):
+        # Defensive path: a trace executing no holes means the skeleton
+        # fails under every assignment (in practice the initial run
+        # catches this first and reports an inherent failure).
+        from repro.core.discovery import HoleRegistry
+        from repro.core.pruning import generalise_failure
+        from repro.mc.kernel import ExplorationKernel
+        from repro.mc.properties import Invariant
+        from repro.mc.rule import Rule
+        from repro.mc.system import TransitionSystem
+
+        system = TransitionSystem(
+            name="doomed",
+            initial_states=[0],
+            rules=[Rule("bad", guard=lambda s: s == 0, apply=lambda s, ctx: [-1])],
+            invariants=[Invariant("no-err", lambda s: s != -1)],
+        )
+        result = ExplorationKernel(system).run()
+        assert result.is_failure
+        pattern = generalise_failure(system, HoleRegistry(), (), result)
+        assert pattern is not None and pattern.is_empty
+
+    def test_missing_trace_falls_back(self):
+        from repro.core.candidate import CandidateVector
+        from repro.core.discovery import CandidateResolver
+        from repro.core.pruning import generalise_failure
+        from repro.mc.kernel import ExplorationKernel
+
+        system, registry, _ = self._fork_setup()
+        resolver = CandidateResolver(registry, CandidateVector.from_digits((0, 0, 0)))
+        result = ExplorationKernel(
+            system, resolver=resolver, record_traces=False
+        ).run()
+        assert result.is_failure and result.trace is None
+        assert generalise_failure(system, registry, (0, 0, 0), result) is None
+
+
 # -- differential property test: subtree skipping == flat matching ----------
 
 pattern_strategy = st.lists(

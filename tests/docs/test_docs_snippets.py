@@ -1,0 +1,144 @@
+"""Execute every fenced snippet in docs/*.md so the guides cannot rot.
+
+Conventions (documented in the guides themselves):
+
+* ```python fences run via ``exec`` — all snippets of one file share a
+  namespace and run in document order, so a guide reads as one program;
+* ```console fences: each ``$ ``-prefixed line runs as a shell command
+  from the repository root with ``src`` on ``PYTHONPATH`` and must exit 0
+  (other lines are illustrative output and are ignored);
+* a ``<!-- snippet: skip -->`` comment directly above a fence excludes it
+  (slow or intentionally failing examples);
+* fences in other languages (``text``, ...) are never executed.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCS_DIR = REPO_ROOT / "docs"
+SKIP_MARKER = "<!-- snippet: skip -->"
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+@dataclass
+class Snippet:
+    language: str
+    content: str
+    line: int  # 1-based line of the opening fence
+    skipped: bool
+
+
+def extract_snippets(path: Path) -> List[Snippet]:
+    snippets: List[Snippet] = []
+    lines = path.read_text().splitlines()
+    in_fence = False
+    language = ""
+    start = 0
+    buffer: List[str] = []
+    skip_next = False
+    for number, line in enumerate(lines, start=1):
+        match = _FENCE.match(line.strip()) if not in_fence else None
+        if not in_fence and match:
+            in_fence = True
+            language = match.group(1).lower()
+            start = number
+            buffer = []
+            continue
+        if in_fence and line.strip() == "```":
+            snippets.append(
+                Snippet(language, "\n".join(buffer), start, skip_next)
+            )
+            in_fence = False
+            skip_next = False
+            continue
+        if in_fence:
+            buffer.append(line)
+        elif line.strip():
+            skip_next = line.strip() == SKIP_MARKER
+    if in_fence:
+        raise AssertionError(f"{path.name}: unterminated fence at line {start}")
+    return snippets
+
+
+def doc_files() -> List[Path]:
+    files = sorted(DOCS_DIR.glob("*.md"))
+    assert files, "docs/ contains no markdown files"
+    return files
+
+
+def run_console_line(command: str) -> None:
+    # Pin "python" to the interpreter running the tests.
+    if command.startswith("python "):
+        command = f"{sys.executable} {command[len('python '):]}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        command,
+        shell=True,
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"`{command}` exited {completed.returncode}\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+
+
+@pytest.mark.parametrize("path", doc_files(), ids=lambda p: p.name)
+def test_doc_snippets_execute(path):
+    namespace: dict = {"__name__": f"docs_snippet_{path.stem}"}
+    executed = 0
+    for snippet in extract_snippets(path):
+        if snippet.skipped:
+            continue
+        if snippet.language == "python":
+            code = compile(snippet.content, f"{path.name}:{snippet.line}", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs
+            executed += 1
+        elif snippet.language == "console":
+            for line in snippet.content.splitlines():
+                if line.strip().startswith("$ "):
+                    run_console_line(line.strip()[2:])
+                    executed += 1
+    assert executed > 0, f"{path.name} has no executable snippets"
+
+
+def test_skip_marker_is_honoured(tmp_path):
+    doc = tmp_path / "sample.md"
+    doc.write_text(
+        "text\n\n"
+        "<!-- snippet: skip -->\n"
+        "```python\nraise RuntimeError('must not run')\n```\n\n"
+        "```python\nx = 1\n```\n"
+    )
+    snippets = extract_snippets(doc)
+    assert [s.skipped for s in snippets] == [True, False]
+
+
+def test_internal_doc_links_resolve():
+    """Markdown link check: every relative link in docs/ and README.md
+    points at a file that exists (external http(s) links are not probed —
+    CI's link job handles those)."""
+    link = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+    for path in doc_files() + [REPO_ROOT / "README.md"]:
+        for target in link.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            resolved = (path.parent / target).resolve()
+            assert resolved.exists(), f"{path.name}: broken link -> {target}"

@@ -170,3 +170,163 @@ class TestStatsParity:
         result = BfsExplorer(counter_system()).run()
         assert result.stats.canon_cache_hits == 0
         assert result.stats.canon_cache_size == 0
+
+
+class TestCheckpointResume:
+    """Prefix checkpoints: resumption must be verdict-exact."""
+
+    @staticmethod
+    def _setup(prefix_digits, full_digits):
+        from repro.core.candidate import CandidateVector
+        from repro.core.discovery import CandidateResolver, HoleRegistry
+        from repro.protocols.toy import build_figure2_skeleton
+
+        system = build_figure2_skeleton()
+        registry = HoleRegistry()
+
+        def resolver(digits):
+            return CandidateResolver(registry, CandidateVector.from_digits(digits))
+
+        return system, resolver(prefix_digits), resolver(full_digits)
+
+    def _prefix_checkpoint(self, system, prefix_resolver):
+        explorer = ExplorationKernel(
+            system, resolver=prefix_resolver, collect_checkpoint=True
+        )
+        explorer.run()
+        return explorer.checkpoint
+
+    @pytest.mark.parametrize("full", [(1, 0, 1, 1), (1, 0, 0), (1, 1)])
+    def test_resumed_equals_fresh(self, full):
+        for cut in range(len(full)):
+            system, prefix_res, full_res = self._setup(full[:cut], full)
+            checkpoint = self._prefix_checkpoint(system, prefix_res)
+            assert checkpoint is not None
+            resumed_kernel = ExplorationKernel(
+                system, resolver=full_res, resume_from=checkpoint
+            )
+            resumed = resumed_kernel.run()
+
+            system2, _, full_res2 = self._setup(full[:cut], full)
+            fresh_kernel = ExplorationKernel(system2, resolver=full_res2)
+            fresh = fresh_kernel.run()
+
+            assert resumed.verdict is fresh.verdict
+            assert resumed.failure_kind == fresh.failure_kind
+            assert resumed.stats.states_visited == fresh.stats.states_visited
+            assert resumed.wildcard_encountered == fresh.wildcard_encountered
+            assert set(resumed_kernel.visited_states) == set(
+                fresh_kernel.visited_states
+            )
+            assert {h.name for h in resumed.executed_holes} == {
+                h.name for h in fresh.executed_holes
+            }
+            assert resumed.stats.prefix_states_reused == checkpoint.states_visited
+            assert fresh.stats.prefix_states_reused == 0
+
+    def test_failing_prefix_collects_no_checkpoint(self):
+        system, prefix_res, _ = self._setup((0,), (0, 0))  # <1@A> fails
+        assert self._prefix_checkpoint(system, prefix_res) is None
+
+    def test_truncated_run_collects_no_checkpoint(self):
+        system, prefix_res, _ = self._setup((1,), (1, 0))
+        explorer = ExplorationKernel(
+            system,
+            resolver=prefix_res,
+            limits=ExplorationLimits(max_states=1),
+            collect_checkpoint=True,
+        )
+        result = explorer.run()
+        assert result.stats.truncated
+        assert explorer.checkpoint is None
+
+    def test_hole_path_mismatch_rejected(self):
+        system, prefix_res, full_res = self._setup((1,), (1, 0))
+        checkpoint = self._prefix_checkpoint(system, prefix_res)
+        with pytest.raises(ModelError):
+            ExplorationKernel(
+                system,
+                resolver=full_res,
+                resume_from=checkpoint,
+                track_hole_paths=True,
+            )
+
+    def test_exhaustive_prefix_resumes_to_immediate_verdict(self):
+        # A prefix that never hits a wildcard explores the full space; the
+        # resumed run inherits everything and re-expands nothing.
+        full = (1, 0, 1, 1)  # the figure-2 solution
+        system, prefix_res, full_res = self._setup(full, full)
+        checkpoint = self._prefix_checkpoint(system, prefix_res)
+        assert checkpoint is not None
+        assert checkpoint.cut_states == ()
+        resumed = ExplorationKernel(
+            system, resolver=full_res, resume_from=checkpoint
+        ).run()
+        assert resumed.verdict is Verdict.SUCCESS
+        assert resumed.stats.prefix_states_reused == resumed.stats.states_visited
+
+    def test_chained_checkpoints(self):
+        # Build level-k checkpoints by resuming level k-1, then finish the
+        # candidate from the deepest: the classic prefix-reuse chain.
+        from repro.core.candidate import CandidateVector
+        from repro.core.discovery import CandidateResolver, HoleRegistry
+        from repro.protocols.toy import build_figure2_skeleton
+
+        full = (1, 0, 1, 1)
+        system = build_figure2_skeleton()
+        registry = HoleRegistry()
+        checkpoint = None
+        for cut in range(len(full)):
+            explorer = ExplorationKernel(
+                system,
+                resolver=CandidateResolver(
+                    registry, CandidateVector.from_digits(full[:cut])
+                ),
+                resume_from=checkpoint,
+                collect_checkpoint=True,
+            )
+            explorer.run()
+            checkpoint = explorer.checkpoint
+            assert checkpoint is not None
+        result = ExplorationKernel(
+            system,
+            resolver=CandidateResolver(registry, CandidateVector.from_digits(full)),
+            resume_from=checkpoint,
+        ).run()
+        assert result.verdict is Verdict.SUCCESS
+
+
+class TestCoverageCheckpointing:
+    """A wildcard-free coverage failure is complete work: it checkpoints,
+    and resumed extensions inherit the identical verdict instantly."""
+
+    @staticmethod
+    def _coverage_system():
+        from repro.mc.properties import CoverageProperty, DeadlockPolicy
+
+        return TransitionSystem(
+            name="uncovered",
+            initial_states=[0],
+            rules=[Rule("spin", guard=lambda s: True, apply=lambda s, ctx: [s])],
+            coverage=[CoverageProperty("reach-9", lambda s: s == 9)],
+            deadlock=DeadlockPolicy.fail(quiescent=lambda s: True),
+        )
+
+    def test_coverage_failure_still_checkpoints(self):
+        from repro.mc.result import FailureKind
+
+        explorer = ExplorationKernel(self._coverage_system(), collect_checkpoint=True)
+        result = explorer.run()
+        assert result.is_failure
+        assert result.failure_kind is FailureKind.COVERAGE
+        assert explorer.checkpoint is not None
+        assert explorer.checkpoint.cut_states == ()
+        assert explorer.checkpoint.pending_coverage == ("reach-9",)
+
+        resumed = ExplorationKernel(
+            self._coverage_system(), resume_from=explorer.checkpoint
+        ).run()
+        assert resumed.is_failure
+        assert resumed.failure_kind is FailureKind.COVERAGE
+        assert resumed.stats.states_visited == result.stats.states_visited
+        assert resumed.stats.prefix_states_reused == result.stats.states_visited

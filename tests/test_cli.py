@@ -93,6 +93,21 @@ class TestSynth:
     def test_synth_refined(self, capsys):
         assert main(["synth", "figure2", "--refined"]) == 0
 
+    def test_synth_no_generalise(self, capsys):
+        # The escape hatch restores the paper's full-width patterns; on
+        # figure2 the two modes coincide, so the headline must match.
+        assert main(["synth", "figure2", "--no-generalise"]) == 0
+        assert "evaluated:         10" in capsys.readouterr().out
+
+    def test_synth_no_prefix_reuse(self, capsys):
+        assert main(["synth", "msi-tiny", "--no-prefix-reuse"]) == 0
+        out = capsys.readouterr().out
+        assert "prefix cache" not in out
+
+    def test_synth_prefix_reuse_reported_by_default(self, capsys):
+        assert main(["synth", "msi-tiny"]) == 0
+        assert "prefix cache" in capsys.readouterr().out
+
 
 class TestMisc:
     def test_list(self, capsys):
