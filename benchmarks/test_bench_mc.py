@@ -56,7 +56,8 @@ def update_bench_json(section: str, payload: dict) -> None:
         except (OSError, ValueError):
             data = {}
     # Drop pre-sectioned legacy top-level keys so the file self-cleans.
-    data = {k: v for k, v in data.items() if k in ("single_candidate", "synthesis")}
+    sections = ("single_candidate", "synthesis", "moesi", "german")
+    data = {k: v for k, v in data.items() if k in sections}
     data[section] = payload
     data["cpu_count"] = os.cpu_count()
     with open("BENCH_mc.json", "w") as handle:
@@ -152,6 +153,64 @@ def test_orbit_cache_single_candidate_speedup(benchmark):
     # Generous floor: the acceptance target is >= 1.3x, but wall-clock on a
     # loaded CI box is noisy, so only sanity-assert the cache isn't a loss.
     assert speedup > 1.0
+
+
+def _workload_payload(protocol_factory, skeleton_name, benchmark):
+    """Verify + synthesis wall-clock for one of the new workloads.
+
+    Single-threaded sequential numbers only, so they are meaningful on a
+    1-CPU container — no cpu_count gating needed.  (Any multi-worker
+    speedup rows belong in ``BENCH_dist.json`` and must stay gated on
+    ``os.cpu_count() >= 4``.)
+    """
+    verify_rows = []
+    for replicas in (2, 3):
+        start = time.perf_counter()
+        result = BfsExplorer(protocol_factory(replicas)).run()
+        seconds = time.perf_counter() - start
+        assert result.verdict is Verdict.SUCCESS
+        verify_rows.append(
+            {
+                "replicas": replicas,
+                "states": result.stats.states_visited,
+                "seconds": round(seconds, 4),
+            }
+        )
+
+    def synth_run():
+        return SynthesisEngine(build_skeleton(skeleton_name), SynthesisConfig()).run()
+
+    report = run_once(benchmark, synth_run)
+    assert report.solutions
+    return {
+        "verify": verify_rows,
+        "synthesis": {
+            "skeleton": skeleton_name,
+            "replicas": 2,
+            "holes": report.hole_count,
+            "evaluated": report.evaluated,
+            "solutions": len(report.solutions),
+            "seconds": round(report.elapsed_seconds, 4),
+        },
+    }
+
+
+def test_moesi_workload(benchmark):
+    """MOESI verify + hallmark-skeleton synthesis numbers."""
+    from repro.protocols.moesi import build_moesi_system
+
+    payload = _workload_payload(build_moesi_system, "moesi-small", benchmark)
+    update_bench_json("moesi", payload)
+    benchmark.extra_info.update(payload)
+
+
+def test_german_workload(benchmark):
+    """German-protocol verify + upgrade-race-skeleton synthesis numbers."""
+    from repro.protocols.german import build_german_system
+
+    payload = _workload_payload(build_german_system, "german-small", benchmark)
+    update_bench_json("german", payload)
+    benchmark.extra_info.update(payload)
 
 
 @pytest.mark.skipif(not small_enabled(), reason="VERC3_BENCH_SMALL=0")

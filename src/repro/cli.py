@@ -9,56 +9,61 @@ Commands:
   procedure plus both sound accelerations (conflict-generalised pruning,
   prefix-reuse search); ``--no-generalise`` / ``--no-prefix-reuse`` /
   ``--naive`` walk the ablation ladder back to the paper and beyond.
-* ``list`` — list available protocols and skeletons.
+* ``matrix`` — run a declarative experiment matrix (a preset or a JSON
+  spec) with a resumable journal; see :mod:`repro.experiments`.
+* ``list`` — list available protocols and skeletons with their hole
+  counts and supported replica ranges.
 
 Examples::
 
     python -m repro verify msi --caches 3 --evictions
+    python -m repro verify german --procs 2
     python -m repro synth msi-small --backend processes --workers 4
-    python -m repro synth msi-small --threads 4
-    python -m repro synth msi-small --no-generalise --no-prefix-reuse
-    python -m repro synth mutex --naive
+    python -m repro synth moesi-small --threads 4
+    python -m repro synth german-small --no-generalise --no-prefix-reuse
+    python -m repro matrix --preset smoke
+    python -m repro matrix --preset table1 --out matrix-runs/table1
 
-The full flag reference lives in ``docs/cli.md``.
+The full flag reference lives in ``docs/cli.md``; the matrix-spec format
+in ``docs/experiments.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.grouping import describe_groups
 from repro.core import SynthesisConfig, SynthesisEngine
 from repro.core.parallel import ParallelSynthesisEngine
 from repro.dist import DistributedSynthesisEngine, SystemSpec
+from repro.errors import ExperimentError
+from repro.experiments import (
+    MatrixRunner,
+    MatrixSpec,
+    expand_matrix,
+    load_preset,
+    preset_names,
+)
 from repro.mc.kernel import EXPLORER_STRATEGIES, ExplorationLimits, make_explorer
-from repro.protocols.catalog import SKELETON_BUILDERS
-from repro.protocols.mesi import build_mesi_system
+from repro.protocols.catalog import (
+    PROTOCOL_BUILDERS,
+    PROTOCOL_CATALOG,
+    SKELETON_BUILDERS,
+    SKELETON_CATALOG,
+)
 from repro.protocols.msi.defs import format_state
-from repro.protocols.msi.system import build_msi_system
-from repro.protocols.mutex import build_mutex_system
-from repro.protocols.vi import build_vi_system
 
-#: complete protocols: name -> builder(n, **kwargs)
-PROTOCOLS: Dict[str, Callable] = {
-    "msi": lambda n, evictions=False, symmetry=True: build_msi_system(
-        n, evictions=evictions, symmetry=symmetry
-    ),
-    "mesi": lambda n, evictions=False, symmetry=True: build_mesi_system(
-        n, symmetry=symmetry
-    ),
-    "vi": lambda n, evictions=False, symmetry=True: build_vi_system(n, symmetry=symmetry),
-    "mutex": lambda n, evictions=False, symmetry=True: build_mutex_system(
-        n, symmetry=symmetry
-    ),
-}
+#: complete protocols: name -> builder(n, **kwargs) — the catalog registry
+PROTOCOLS: Dict[str, Callable] = PROTOCOL_BUILDERS
 
 #: skeletons: name -> builder(n) returning a TransitionSystem
 SKELETONS: Dict[str, Callable] = SKELETON_BUILDERS
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="VerC3 reproduction: explicit state synthesis of concurrent systems",
@@ -116,11 +121,46 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--groups", action="store_true",
                        help="fingerprint solutions and print behavioural groups")
 
-    sub.add_parser("list", help="list protocols and skeletons")
+    matrix = sub.add_parser(
+        "matrix",
+        help="run a declarative experiment matrix (resumable)",
+        description="Run a protocol x backend x flags experiment matrix. "
+                    "Completed cells are journaled; re-running the same "
+                    "matrix against the same --out directory skips them.",
+    )
+    source = matrix.add_mutually_exclusive_group()
+    source.add_argument(
+        "--preset", choices=preset_names(), default=None,
+        help="a built-in matrix (table1 reproduces table1_output.txt; "
+             "smoke is the tiny CI matrix)",
+    )
+    source.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="path to a JSON matrix spec (format: docs/experiments.md)",
+    )
+    matrix.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="output directory for journal.jsonl / results.json / "
+             "report.md (default: matrix-runs/<matrix-name>)",
+    )
+    matrix.add_argument(
+        "--fresh", action="store_true",
+        help="discard an existing journal and re-run every cell",
+    )
+    matrix.add_argument(
+        "--list-presets", action="store_true",
+        help="print the built-in presets and exit",
+    )
+
+    sub.add_parser(
+        "list",
+        help="list protocols and skeletons (hole counts, replica ranges)",
+    )
     return parser
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    """``verify``: model check one complete protocol."""
     system = PROTOCOLS[args.protocol](
         args.replicas, evictions=args.evictions, symmetry=not args.no_symmetry
     )
@@ -136,6 +176,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
+    """``synth``: run hole synthesis on one skeleton."""
     config = SynthesisConfig(
         pruning=not args.naive,
         generalise_conflicts=not args.no_generalise,
@@ -170,19 +211,66 @@ def cmd_synth(args: argparse.Namespace) -> int:
     return 0 if report.solutions else 1
 
 
+def cmd_matrix(args: argparse.Namespace) -> int:
+    """``matrix``: expand and run a declarative experiment matrix."""
+    if args.list_presets:
+        print("presets:")
+        for name in preset_names():
+            spec = load_preset(name)
+            print(f"  {name:8s}  {len(expand_matrix(spec))} cells")
+        return 0
+    try:
+        if args.spec is not None:
+            spec = MatrixSpec.from_json_file(args.spec)
+        elif args.preset is not None:
+            spec = load_preset(args.preset)
+        else:
+            print("matrix: one of --preset or --spec is required "
+                  "(or --list-presets)", file=sys.stderr)
+            return 2
+        out_dir = args.out or f"matrix-runs/{spec.name}"
+        runner = MatrixRunner(spec, out_dir, fresh=args.fresh, log=print)
+        result = runner.run()
+    except ExperimentError as exc:
+        print(f"matrix: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(result.table_text())
+    print()
+    print(result.summary())
+    print(f"artifacts: {out_dir}/journal.jsonl, results.json, report.md")
+    return 0 if not result.failed else 1
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
+    """``list``: the catalog with hole counts and replica ranges."""
     print("protocols (verify):")
-    for name in sorted(PROTOCOLS):
-        print(f"  {name}")
+    width = max(len(name) for name in PROTOCOL_CATALOG)
+    for name in sorted(PROTOCOL_CATALOG):
+        entry = PROTOCOL_CATALOG[name]
+        low, high = entry.replicas
+        print(f"  {name:<{width}}  replicas {low}..{high}  {entry.summary}")
     print("skeletons (synth):")
-    for name in sorted(SKELETONS):
-        print(f"  {name}")
+    width = max(len(name) for name in SKELETON_CATALOG)
+    for name in sorted(SKELETON_CATALOG):
+        entry = SKELETON_CATALOG[name]
+        low, high = entry.replicas
+        print(
+            f"  {name:<{width}}  {entry.holes:2d} holes  "
+            f"replicas {low}..{high}  {entry.summary}"
+        )
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
     args = build_parser().parse_args(argv)
-    handlers = {"verify": cmd_verify, "synth": cmd_synth, "list": cmd_list}
+    handlers = {
+        "verify": cmd_verify,
+        "synth": cmd_synth,
+        "matrix": cmd_matrix,
+        "list": cmd_list,
+    }
     return handlers[args.command](args)
 
 

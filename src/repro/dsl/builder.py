@@ -54,15 +54,19 @@ class StateView:
         self.net = net
 
     def local(self, index: int) -> Any:
+        """The local state of process ``index``."""
         return self.procs[index]
 
     def become(self, index: int, new_state: Any) -> None:
+        """Replace process ``index``'s local state."""
         self.procs[index] = new_state
 
     def send(self, mtype: str, src: int, dst: int, payload: Any = None) -> None:
+        """Put a message in flight."""
         self.net = self.net.send(Message(mtype, src, dst, payload))
 
     def freeze(self) -> DslState:
+        """Back to the immutable DSL state tuple."""
         return (ProcessArray(tuple(self.procs)), self.glob, self.net)
 
 
@@ -141,18 +145,22 @@ class ProtocolBuilder:
         self._global_rename: Optional[Callable[[Any, Tuple[int, ...]], Any]] = None
 
     def add_controller(self, spec: ControllerSpec) -> "ProtocolBuilder":
+        """Register a controller; returns self for chaining."""
         self._controllers.append(spec)
         return self
 
     def add_invariant(self, name: str, predicate) -> "ProtocolBuilder":
+        """Add a named safety predicate; returns self."""
         self._invariants.append(Invariant(name, predicate))
         return self
 
     def add_coverage(self, name: str, predicate) -> "ProtocolBuilder":
+        """Add a named coverage predicate; returns self."""
         self._coverage.append(CoverageProperty(name, predicate))
         return self
 
     def set_deadlock_policy(self, policy: DeadlockPolicy) -> "ProtocolBuilder":
+        """Set the terminal-state policy; returns self."""
         self._deadlock = policy
         return self
 
@@ -217,6 +225,7 @@ class ProtocolBuilder:
         return Rule(rule_name, guard, apply, params={"p": proc})
 
     def build(self) -> TransitionSystem:
+        """Compile the controllers into a TransitionSystem."""
         if not self._controllers:
             raise ModelError("protocol has no controllers")
         rules: List[Rule] = []

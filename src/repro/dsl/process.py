@@ -20,6 +20,7 @@ class ProcessArray:
 
     @classmethod
     def uniform(cls, initial: Any, count: int) -> "ProcessArray":
+        """An array of ``count`` copies of ``initial``."""
         if count < 1:
             raise ValueError("a process array needs at least one process")
         return cls((initial,) * count)
@@ -28,17 +29,20 @@ class ProcessArray:
         return self._states[index]
 
     def set(self, index: int, value: Any) -> "ProcessArray":
+        """A copy with position ``index`` replaced."""
         states = list(self._states)
         states[index] = value
         return ProcessArray(tuple(states))
 
     def renamed(self, mapping: Tuple[int, ...]) -> "ProcessArray":
+        """A copy with process indices permuted by ``mapping``."""
         states = list(self._states)
         for old_index, value in enumerate(self._states):
             states[mapping[old_index]] = value
         return ProcessArray(tuple(states))
 
     def count(self, value: Any) -> int:
+        """Number of processes whose local state equals ``value``."""
         return sum(1 for state in self._states if state == value)
 
     def __len__(self) -> int:

@@ -31,6 +31,10 @@ class CandidateError(SynthesisError):
     """A candidate vector operation was invalid (bad index, bad action)."""
 
 
+class ExperimentError(ReproError):
+    """An experiment-matrix spec or journal is malformed or inconsistent."""
+
+
 class WildcardEncountered(ReproError):
     """Raised when a rule body resolves a hole assigned the wildcard action.
 

@@ -1,0 +1,39 @@
+"""Declarative experiment matrices over the protocol catalog.
+
+The paper's evaluation — and this repository's reproduction of it — is a
+pile of *configurations*: protocol x replica count x backend x flag
+toggles.  This package makes running any such configuration grid a
+one-command, resumable operation:
+
+* :mod:`repro.experiments.spec` — the declarative matrix format
+  (``axes`` product + ``include``/``exclude``), expansion, validation;
+* :mod:`repro.experiments.runner` — cell execution with per-cell
+  timeouts, a kill-safe JSON journal (re-running skips completed cells),
+  and ``results.json`` / ``report.md`` outputs;
+* :mod:`repro.experiments.presets` — built-in matrices: ``table1``
+  (reproduces ``table1_output.txt``) and ``smoke`` (the CI step).
+
+CLI entry point: ``python -m repro matrix`` (see ``docs/experiments.md``).
+"""
+
+from repro.experiments.presets import PRESETS, load_preset, preset_names
+from repro.experiments.runner import MatrixResult, MatrixRunner, run_cell
+from repro.experiments.spec import (
+    CellSpec,
+    MatrixSpec,
+    expand_matrix,
+    make_cell,
+)
+
+__all__ = [
+    "CellSpec",
+    "MatrixResult",
+    "MatrixRunner",
+    "MatrixSpec",
+    "PRESETS",
+    "expand_matrix",
+    "load_preset",
+    "make_cell",
+    "preset_names",
+    "run_cell",
+]

@@ -1,0 +1,119 @@
+"""Built-in matrix presets (``python -m repro matrix --preset <name>``).
+
+* ``table1`` — reproduces the repository's Table I
+  (``table1_output.txt``): the MSI-tiny naive/pruning pair, MSI-small
+  under all three backends, and the sample-extrapolated MSI-small naive
+  baseline.  An include-only matrix — the paper's table is irregular.
+* ``smoke`` — a few minutes of tiny cells: every complete protocol
+  verified at 2 replicas and every fast skeleton synthesised
+  sequentially.  This is the CI matrix-smoke step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.spec import MatrixSpec
+
+
+def table1_preset() -> MatrixSpec:
+    """The Table I reproduction as a declarative matrix."""
+    return MatrixSpec.from_dict(
+        {
+            "name": "table1",
+            "defaults": {"mode": "synth", "replicas": 2},
+            "include": [
+                {
+                    "id": "tiny-naive",
+                    "label": "MSI-tiny 1 thread, no pruning",
+                    "target": "msi-tiny",
+                    "pruning": False,
+                },
+                {
+                    "id": "tiny-pruned",
+                    "label": "MSI-tiny 1 thread, pruning",
+                    "target": "msi-tiny",
+                },
+                {
+                    "id": "small-seq",
+                    "label": "MSI-small 1 thread, pruning",
+                    "target": "msi-small",
+                },
+                {
+                    "id": "small-threads",
+                    "label": "MSI-small 4 threads, pruning (algorithmic repro)",
+                    "target": "msi-small",
+                    "backend": "threads",
+                    "workers": 4,
+                },
+                {
+                    "id": "small-processes",
+                    "label": "MSI-small 4 processes, pruning",
+                    "target": "msi-small",
+                    "backend": "processes",
+                    "workers": 4,
+                },
+                {
+                    "id": "small-naive-estimated",
+                    "label": "MSI-small 1 thread, no pruning",
+                    "target": "msi-small",
+                    "estimate_naive_from": "small-seq",
+                },
+            ],
+        }
+    )
+
+
+def smoke_preset() -> MatrixSpec:
+    """Tiny cells only: the CI smoke matrix (sequential synthesis +
+    every protocol verified).  The synthesis axis covers each protocol
+    family once, including the new MOESI and German workloads."""
+    return MatrixSpec.from_dict(
+        {
+            "name": "smoke",
+            "defaults": {
+                "mode": "synth",
+                "replicas": 2,
+                "backend": "sequential",
+                "timeout_seconds": 300,
+            },
+            "axes": {
+                "target": [
+                    "figure2",
+                    "mutex",
+                    "vi",
+                    "msi-tiny",
+                    "mesi",
+                    "moesi-small",
+                    "german-small",
+                ],
+            },
+            "include": [
+                {"mode": "verify", "target": name, "timeout_seconds": 120}
+                for name in ("mutex", "vi", "msi", "mesi", "moesi", "german")
+            ],
+        }
+    )
+
+
+PRESETS: Dict[str, Callable[[], MatrixSpec]] = {
+    "table1": table1_preset,
+    "smoke": smoke_preset,
+}
+
+
+def preset_names() -> Tuple[str, ...]:
+    """Sorted names of the built-in presets."""
+    return tuple(sorted(PRESETS))
+
+
+def load_preset(name: str) -> MatrixSpec:
+    """Build a preset's spec; raises with the available names if unknown."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown preset {name!r}; available: {', '.join(preset_names())}"
+        ) from None
+    return factory()

@@ -22,21 +22,26 @@ class StateGraph:
     edges: Set[Tuple[int, int, str]] = field(default_factory=set)
 
     def add_state(self, sid: int, state: Any, depth: int) -> None:
+        """Record a visited state under its node id, with its depth."""
         self.states[sid] = state
         self.depths[sid] = depth
 
     def add_edge(self, src: int, dst: int, rule_name: str) -> None:
+        """Record one transition between two interned states."""
         self.edges.add((src, dst, rule_name))
 
     @property
     def num_states(self) -> int:
+        """Number of interned states."""
         return len(self.states)
 
     @property
     def num_edges(self) -> int:
+        """Number of recorded transitions."""
         return len(self.edges)
 
     def successors(self, sid: int) -> List[Tuple[int, str]]:
+        """Sorted ``(dst, rule_name)`` pairs of edges leaving ``sid``."""
         return sorted(
             (dst, rule) for (src, dst, rule) in self.edges if src == sid
         )

@@ -38,6 +38,7 @@ class Invariant:
         self.predicate = predicate
 
     def holds(self, state: Any) -> bool:
+        """Whether the invariant holds in ``state``."""
         return bool(self.predicate(state))
 
     def __repr__(self) -> str:
@@ -56,6 +57,7 @@ class CoverageProperty:
         self.predicate = predicate
 
     def satisfied_by(self, state: Any) -> bool:
+        """Whether ``state`` witnesses this coverage property."""
         return bool(self.predicate(state))
 
     def __repr__(self) -> str:
@@ -63,6 +65,7 @@ class CoverageProperty:
 
 
 class DeadlockMode(enum.Enum):
+    """How terminal states are classified."""
     FAIL = "fail"
     ALLOW = "allow"
 
@@ -85,10 +88,12 @@ class DeadlockPolicy:
 
     @classmethod
     def fail(cls, quiescent: Predicate = None) -> "DeadlockPolicy":
+        """Terminal states fail unless ``quiescent`` accepts them."""
         return cls(DeadlockMode.FAIL, quiescent)
 
     @classmethod
     def allow(cls) -> "DeadlockPolicy":
+        """Terminal states are never failures."""
         return cls(DeadlockMode.ALLOW)
 
     def is_deadlock(self, state: Any) -> bool:

@@ -1,0 +1,412 @@
+"""The German directory protocol (the classic Murphi/VerC3 benchmark),
+built with the DSL — *with* data values.
+
+Steffen German's protocol is the standard benchmark for parameterised
+coherence verification: clients obtain shared or exclusive access to one
+cache line from a central directory over three **explicit channels**:
+
+* **channel 1** (requests): ``ReqS`` / ``ReqE``, client -> directory;
+* **channel 2** (grants + invalidations): ``GntS`` / ``GntE`` / ``Inv``,
+  directory -> client — a *single-slot* port: the directory does not start
+  serving a new request while any channel-2 message is still in flight
+  (the unordered-network equivalent of Murphi's ``Chan2[i].Cmd = Empty``
+  guards);
+* **channel 3** (invalidate acknowledgements): ``InvAck``, client ->
+  directory, carrying the **written-back data** when the invalidated
+  client held the line exclusively.
+
+Unlike the other case studies this model carries a concrete data value:
+grants carry memory data, exclusive clients *write* (toggling the value
+and recording it in the ``aux`` ghost variable), and invalidate-acks write
+dirty data back.  That makes the classic **data-value integrity**
+properties expressible: every client holding the line sees the last value
+written, and memory is current whenever no exclusive copy exists.
+
+Client states: ``I``, ``IS_W`` (awaiting GntS), ``IE_W`` (awaiting GntE),
+``S``, ``SE_W`` (upgrade requested from S), ``E``; each client also holds
+its data copy.  Directory state: ``IDLE``, ``GS_W``/``GE_W`` (collecting
+invalidate-acks before a shared/exclusive grant), plus the current
+requester ``ptr``, the exclusive holder ``excl``, the sharer set ``shr``,
+the pending-ack count, memory ``mem``, and the ghost ``aux``.
+
+The holeable rule (used by the ``german-small`` skeleton) is the
+protocol's subtle race: a client that requested an upgrade (``SE_W``) is
+invalidated *before* its grant arrives.  The reference completion acks
+with writeback and demotes the wait to ``IE_W`` — the exclusive grant is
+still coming, but it must now be received from Invalid.
+
+A designated seeded bug (``build_german_system(..., bug="stale-shared-grant")``)
+grants shared access from memory without recalling the exclusive copy and
+is caught by the safety property set (the directory's own bookkeeping
+trips first; the same run also breaches coherence and stale-data
+integrity a few steps later).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.action import Action
+from repro.core.hole import Hole
+from repro.dsl.builder import GLOBAL, ControllerSpec, ProtocolBuilder, StateView
+from repro.mc.properties import DeadlockPolicy
+from repro.mc.state import Record
+from repro.mc.system import TransitionSystem
+
+# client control states
+I, IS_W, IE_W, S, SE_W, E = "I", "IS_W", "IE_W", "S", "SE_W", "E"
+# directory control states
+IDLE, GS_W, GE_W = "IDLE", "GS_W", "GE_W"
+# messages, by channel
+REQS, REQE = "ReqS", "ReqE"                 # channel 1
+GNTS, GNTE, INV = "GntS", "GntE", "Inv"     # channel 2 (single-slot port)
+INVACK = "InvAck"                           # channel 3 (carries writeback)
+
+CH2 = frozenset({GNTS, GNTE, INV})
+
+#: seeded-bug names accepted by :func:`build_german_system`
+BUGS = ("stale-shared-grant",)
+
+
+def _initial_local() -> Record:
+    return Record(st=I, d=0)
+
+
+def _initial_glob() -> Record:
+    return Record(st=IDLE, ptr=-1, excl=-1, shr=frozenset(), acks=0, mem=0, aux=0)
+
+
+def _rename_glob(glob: Record, mapping: Tuple[int, ...]) -> Record:
+    return Record(
+        st=glob.st,
+        ptr=-1 if glob.ptr < 0 else mapping[glob.ptr],
+        excl=-1 if glob.excl < 0 else mapping[glob.excl],
+        shr=frozenset(mapping[s] for s in glob.shr),
+        acks=glob.acks,
+        mem=glob.mem,
+        aux=glob.aux,
+    )
+
+
+class _StatePattern:
+    """Control-state predicate that prints as the state name.
+
+    The builder derives rule names from the transition's state pattern, so
+    a plain lambda would leak ``<function ...>`` into every rule name and
+    trace; this wrapper keeps them readable (``client0:SE_W+Inv``).
+    """
+
+    __slots__ = ("pattern",)
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+
+    def __call__(self, local) -> bool:
+        return local.st == self.pattern
+
+    def __repr__(self) -> str:
+        return self.pattern
+
+    __str__ = __repr__
+
+
+def _st(pattern: str) -> _StatePattern:
+    """Local-state predicate matching on the control state only."""
+    return _StatePattern(pattern)
+
+
+_glob_st = _st  # the directory record exposes the same ``st`` field
+
+
+def _ch2_clear(state, message) -> bool:
+    """The single-slot channel-2 port: no grant/invalidate in flight.
+
+    Guarding request *consumption* on this condition is the unordered-
+    network rendering of Murphi's per-client ``Chan2`` capacity checks:
+    the directory never overlaps two channel-2 conversations.
+    """
+    return not any(m.mtype in CH2 for m in state[2])
+
+
+# -- client handlers -----------------------------------------------------------
+
+
+def _client_want_shared(view: StateView, proc: int, ctx, message) -> None:
+    view.send(REQS, proc, GLOBAL)
+    view.become(proc, view.local(proc).update(st=IS_W))
+
+
+def _client_want_excl(view: StateView, proc: int, ctx, message) -> None:
+    view.send(REQE, proc, GLOBAL)
+    view.become(proc, view.local(proc).update(st=IE_W))
+
+
+def _client_upgrade(view: StateView, proc: int, ctx, message) -> None:
+    view.send(REQE, proc, GLOBAL)
+    view.become(proc, view.local(proc).update(st=SE_W))
+
+
+def _client_store(view: StateView, proc: int, ctx, message) -> None:
+    # The only place data is written; the ghost records the latest value.
+    value = 1 - view.local(proc).d
+    view.become(proc, view.local(proc).update(d=value))
+    view.glob = view.glob.update(aux=value)
+
+
+def _client_gnts(view: StateView, proc: int, ctx, message) -> None:
+    view.become(proc, view.local(proc).update(st=S, d=message.payload))
+
+
+def _client_gnte(view: StateView, proc: int, ctx, message) -> None:
+    view.become(proc, view.local(proc).update(st=E, d=message.payload))
+
+
+def _client_inv(view: StateView, proc: int, ctx, message) -> None:
+    # Ack with writeback data; the directory decides whether it matters.
+    view.send(INVACK, proc, GLOBAL, payload=view.local(proc).d)
+    view.become(proc, view.local(proc).update(st=I))
+
+
+def _client_sew_inv_reference(view: StateView, proc: int, ctx, message) -> None:
+    # The subtle race: invalidated while the upgrade grant is pending.
+    # Ack (with writeback) and keep waiting — but now from Invalid.
+    view.send(INVACK, proc, GLOBAL, payload=view.local(proc).d)
+    view.become(proc, view.local(proc).update(st=IE_W))
+
+
+# -- directory handlers -----------------------------------------------------------
+
+
+def _dir_reqs(view: StateView, proc: int, ctx, message) -> None:
+    glob = view.glob
+    src = message.src
+    if glob.excl >= 0:
+        # An exclusive copy exists: recall it before granting from memory.
+        view.send(INV, GLOBAL, glob.excl)
+        view.glob = glob.update(st=GS_W, ptr=src, acks=1)
+    else:
+        view.send(GNTS, GLOBAL, src, payload=glob.mem)
+        view.glob = glob.update(shr=glob.shr | {src})
+
+
+def _dir_reqs_stale_grant(view: StateView, proc: int, ctx, message) -> None:
+    # Seeded bug: grant from (possibly stale) memory without the recall.
+    glob = view.glob
+    view.send(GNTS, GLOBAL, message.src, payload=glob.mem)
+    view.glob = glob.update(shr=glob.shr | {message.src})
+
+
+def _dir_reqe(view: StateView, proc: int, ctx, message) -> None:
+    glob = view.glob
+    src = message.src
+    targets = set(glob.shr) - {src}
+    if glob.excl >= 0:
+        targets.add(glob.excl)
+    if not targets:
+        view.send(GNTE, GLOBAL, src, payload=glob.mem)
+        view.glob = glob.update(excl=src, shr=frozenset(), ptr=-1)
+        return
+    for target in sorted(targets):
+        view.send(INV, GLOBAL, target)
+    view.glob = glob.update(st=GE_W, ptr=src, acks=len(targets))
+
+
+def _dir_gsw_invack(view: StateView, proc: int, ctx, message) -> None:
+    # GS_W is only ever entered by recalling the exclusive holder, so this
+    # ack *is* the writeback: update memory, then grant from it.
+    glob = view.glob.update(mem=message.payload, excl=-1)
+    view.send(GNTS, GLOBAL, glob.ptr, payload=glob.mem)
+    view.glob = glob.update(
+        st=IDLE, shr=glob.shr | {glob.ptr}, ptr=-1, acks=0
+    )
+
+
+def _dir_gew_invack(view: StateView, proc: int, ctx, message) -> None:
+    glob = view.glob
+    if glob.excl >= 0 and message.src == glob.excl:
+        glob = glob.update(mem=message.payload, excl=-1)
+    glob = glob.update(shr=glob.shr - {message.src}, acks=glob.acks - 1)
+    if glob.acks > 0:
+        view.glob = glob
+        return
+    view.send(GNTE, GLOBAL, glob.ptr, payload=glob.mem)
+    view.glob = glob.update(st=IDLE, excl=glob.ptr, shr=frozenset(), ptr=-1)
+
+
+# -- hole-driven handlers ------------------------------------------------------------
+
+
+def sew_inv_holes() -> Tuple[Hole, Hole]:
+    """Holes for the SE_W+Inv race: what to send, and where to wait next."""
+    response = Hole(
+        "german.client.SE_W+Inv.response",
+        [
+            Action("none", fn=lambda view, proc: None),
+            Action(
+                "send_invack",
+                fn=lambda view, proc: view.send(
+                    INVACK, proc, GLOBAL, payload=view.local(proc).d
+                ),
+            ),
+            Action(
+                "send_reqe",
+                fn=lambda view, proc: view.send(REQE, proc, GLOBAL),
+            ),
+        ],
+    )
+    next_state = Hole(
+        "german.client.SE_W+Inv.next",
+        [Action(f"goto_{s}", payload=s) for s in (I, IS_W, IE_W, S, SE_W, E)],
+    )
+    return response, next_state
+
+
+#: reference action names for each holeable rule
+REFERENCE_ASSIGNMENT: Dict[str, str] = {
+    "german.client.SE_W+Inv.response": "send_invack",
+    "german.client.SE_W+Inv.next": "goto_IE_W",
+}
+
+
+# -- properties ----------------------------------------------------------------------
+
+
+def _coherence(state) -> bool:
+    procs, _glob, _net = state
+    exclusive = sum(1 for p in procs if p.st == E)
+    if exclusive > 1:
+        return False
+    sharing = sum(1 for p in procs if p.st in (S, SE_W))
+    return not (exclusive == 1 and sharing > 0)
+
+
+def _data_integrity_cache(state) -> bool:
+    # Everyone holding the line sees the last value written.
+    procs, glob, _net = state
+    return all(p.d == glob.aux for p in procs if p.st in (S, SE_W, E))
+
+
+def _data_integrity_mem(state) -> bool:
+    # Memory is current whenever no exclusive copy is outstanding.
+    _procs, glob, _net = state
+    return glob.excl >= 0 or glob.mem == glob.aux
+
+
+def _dir_bookkeeping(state) -> bool:
+    procs, glob, _net = state
+    if glob.excl >= 0 and glob.shr:
+        return False
+    for index, local in enumerate(procs):
+        if local.st == S and index not in glob.shr:
+            return False
+        if local.st == SE_W and index not in glob.shr and glob.excl != index:
+            # An upgrader leaves ``shr`` the moment its exclusive grant is
+            # issued (the grant may still be in flight).
+            return False
+        if local.st == E and glob.excl != index:
+            return False
+    return True
+
+
+def _channel_capacity(state) -> bool:
+    # Per-client single-slot channels: one request out, one grant/inv in,
+    # one ack out.  (The spurious re-request completions trip this.)
+    procs, _glob, net = state
+    for index in range(len(procs)):
+        ch1 = sum(1 for m in net if m.src == index and m.mtype in (REQS, REQE))
+        ch2 = sum(1 for m in net if m.dst == index and m.mtype in CH2)
+        ch3 = sum(1 for m in net if m.src == index and m.mtype == INVACK)
+        if ch1 > 1 or ch2 > 1 or ch3 > 1:
+            return False
+    return True
+
+
+def _single_grant(state) -> bool:
+    _procs, _glob, net = state
+    return sum(1 for m in net if m.mtype in (GNTS, GNTE)) <= 1
+
+
+def _build(
+    n_clients: int,
+    sew_inv_handler,
+    name: str,
+    symmetry: bool = True,
+    bug: Optional[str] = None,
+) -> TransitionSystem:
+    if bug is not None and bug not in BUGS:
+        raise ValueError(f"unknown seeded bug {bug!r}; available: {', '.join(BUGS)}")
+
+    client = ControllerSpec("client")
+    client.on(_st(I), "want_shared", _client_want_shared, spontaneous=True)
+    client.on(_st(I), "want_excl", _client_want_excl, spontaneous=True)
+    client.on(_st(S), "upgrade", _client_upgrade, spontaneous=True)
+    client.on(_st(E), "store", _client_store, spontaneous=True)
+    client.on(_st(IS_W), GNTS, _client_gnts)
+    client.on(_st(IE_W), GNTE, _client_gnte)
+    client.on(_st(SE_W), GNTE, _client_gnte)
+    client.on(_st(S), INV, _client_inv)
+    client.on(_st(E), INV, _client_inv)
+    client.on(_st(SE_W), INV, sew_inv_handler)
+
+    reqs_handler = _dir_reqs_stale_grant if bug == "stale-shared-grant" else _dir_reqs
+    directory = ControllerSpec("dir", replicated=False)
+    directory.on(_glob_st(IDLE), REQS, reqs_handler, message_guard=_ch2_clear)
+    directory.on(_glob_st(IDLE), REQE, _dir_reqe, message_guard=_ch2_clear)
+    directory.on(_glob_st(GS_W), INVACK, _dir_gsw_invack)
+    directory.on(_glob_st(GE_W), INVACK, _dir_gew_invack)
+
+    builder = ProtocolBuilder(
+        name,
+        n_clients,
+        initial_local=_initial_local(),
+        initial_global=_initial_glob(),
+        symmetry=symmetry,
+    )
+    builder.add_controller(client)
+    builder.add_controller(directory)
+    builder.set_global_rename(_rename_glob)
+    builder.add_invariant("coherence", _coherence)
+    builder.add_invariant("data-integrity-cache", _data_integrity_cache)
+    builder.add_invariant("data-integrity-mem", _data_integrity_mem)
+    builder.add_invariant("dir-bookkeeping", _dir_bookkeeping)
+    builder.add_invariant("channel-capacity", _channel_capacity)
+    builder.add_invariant("single-grant", _single_grant)
+    # Finite interconnect (see the VI protocol for rationale): 3 single-slot
+    # channels per client bound the healthy protocol well below this.
+    bound = 3 * n_clients
+    builder.add_invariant("network-bounded", lambda s, _b=bound: len(s[2]) <= _b)
+    builder.add_coverage("some-client-E", lambda s: any(p.st == E for p in s[0]))
+    builder.add_coverage("some-client-S", lambda s: any(p.st == S for p in s[0]))
+    builder.add_coverage("some-upgrade", lambda s: any(p.st == SE_W for p in s[0]))
+    builder.add_coverage("write-happens", lambda s: s[1].aux == 1)
+    if n_clients >= 2:
+        # A writeback needs a second client to force the recall.
+        builder.add_coverage("writeback-happens", lambda s: s[1].st == GS_W)
+    # Every client control state has a spontaneous or message rule, so a
+    # genuinely terminal state is always a real deadlock (stuck waits with
+    # undeliverable messages) — no quiescent whitelist.
+    builder.set_deadlock_policy(DeadlockPolicy.fail())
+    return builder.build()
+
+
+def build_german_system(
+    n_clients: int = 2, symmetry: bool = True, bug: Optional[str] = None
+) -> TransitionSystem:
+    """The complete German protocol (optionally with a seeded bug)."""
+    return _build(n_clients, _client_sew_inv_reference, "german", symmetry, bug)
+
+
+def build_german_skeleton(
+    n_clients: int = 2, symmetry: bool = True
+) -> Tuple[TransitionSystem, List[Hole]]:
+    """The German protocol with the SE_W+Inv race blanked out."""
+    response, next_state = sew_inv_holes()
+
+    def sew_inv_handler(view, proc, ctx, message):
+        ctx.resolve(response).fn(view, proc)
+        view.become(
+            proc, view.local(proc).update(st=ctx.resolve(next_state).payload)
+        )
+
+    system = _build(n_clients, sew_inv_handler, "german-skeleton", symmetry)
+    return system, [response, next_state]

@@ -1,25 +1,35 @@
-"""A directory-based MESI coherence protocol (scope extension).
+"""A directory-based MOESI coherence protocol (scope extension).
 
-The paper's conclusion calls for widening the tool's scope; MESI is the
-natural next protocol after MSI.  The Exclusive state lets a cache that was
-granted the only copy write *silently* (E -> M without any message) — which
-means the directory cannot know whether its owner holds E or M, so it
-tracks a combined ``EM`` owner state.  That one optimisation reshapes the
-transient structure:
+MOESI adds the **Owned** state to MESI: a cache whose dirty line is read by
+another cache does not write back and invalidate — it *keeps* the dirty data
+in state ``O`` and supplies it to readers itself.  That one optimisation
+changes the directory's shape:
 
-* the directory grants **exclusive data** (``DataE``) on a GetS when no
-  other copy exists, and serialises through ``IE_A`` until the grantee
-  acknowledges (the same serialisation idea as MSI's ``IM_A``);
-* shared grants (``DataS``) need no acknowledgement;
-* invalidating "the owner" must work for owners in E *or* M.
+* a ``GetS`` hitting an ``EM`` or ``O`` owner is **forwarded**
+  (``FwdGetS``) instead of answered from memory; the owner sends the data
+  straight to the requester and tells the directory how it reacted —
+  ``AckO`` ("I kept ownership", the M -> O hallmark transition) or ``AckS``
+  ("I was clean, I downgraded to S");
+* the directory therefore has a stable **O** state (a dirty owner *plus*
+  sharers) in addition to MESI's ``EM``, and a ``GetM`` arriving in ``O``
+  must invalidate the sharers *and* the owner before granting.
 
-State layout is identical to the MSI module::
+State layout is byte-for-byte the MSI/MESI tuple::
 
     (caches, dirst, owner, sharers, req, acks, net)
 
-Cache states: I, S, E, M, IS_D, IM_D, SM_D, IS_D_I.
-Directory states: I, S, EM, IE_A, SM_A, ES_A, EM_A.
-Messages: GetS, GetM, DataS, DataE, Inv, InvAck, DataAck.
+Cache states: I, S, E, O, M, IS_D, IM_D, SM_D, OM_A, IS_D_I.
+Directory states: I, S, EM, O, IE_A, SM_A, EM_A, EO_A, OM_AD.
+Messages: GetS, GetM, DataS, DataE, Inv, InvAck, DataAck, FwdGetS, AckO,
+AckS.
+
+Because the model carries no concrete data values, data-value integrity is
+expressed as the **owner-holds-data** invariant: whenever the directory's
+stable state says a cache is responsible for supplying data, that cache is
+in a state in which it actually has the data (see
+:func:`moesi_invariants`).  A designated seeded bug
+(``build_moesi_system(..., bug="no-owner-inv")``) grants exclusive access
+without invalidating the owner and is caught by the coherence invariant.
 """
 
 from __future__ import annotations
@@ -35,40 +45,58 @@ from repro.mc.rule import Rule
 from repro.mc.symmetry import Permuter, ScalarSet
 from repro.mc.system import TransitionSystem
 
-# The MESI state tuple has byte-for-byte the same layout as MSI's
-# ``(caches, dirst, owner, sharers, req, acks, net)``, so the sorted-replica
-# fast-path projection is shared rather than duplicated.
+# Same 7-tuple layout as MSI/MESI, so the sorted-replica fast path is shared.
 from repro.protocols.msi.defs import replica_keys
 
 # -- states ---------------------------------------------------------------------
 
-C_I, C_S, C_E, C_M, C_IS_D, C_IM_D, C_SM_D, C_IS_D_I = range(8)
-CACHE_STATE_NAMES = ("I", "S", "E", "M", "IS_D", "IM_D", "SM_D", "IS_D_I")
-CACHE_STABLE = frozenset({C_I, C_S, C_E, C_M})
+(
+    C_I,
+    C_S,
+    C_E,
+    C_O,
+    C_M,
+    C_IS_D,
+    C_IM_D,
+    C_SM_D,
+    C_OM_A,
+    C_IS_D_I,
+) = range(10)
+CACHE_STATE_NAMES = ("I", "S", "E", "O", "M", "IS_D", "IM_D", "SM_D", "OM_A", "IS_D_I")
+CACHE_STABLE = frozenset({C_I, C_S, C_E, C_O, C_M})
+#: cache states that hold a current copy of the line
+CACHE_OWNERLIKE = frozenset({C_E, C_O, C_M, C_OM_A})
 
-D_I, D_S, D_EM, D_IE_A, D_SM_A, D_ES_A, D_EM_A = range(7)
-DIR_STATE_NAMES = ("I", "S", "EM", "IE_A", "SM_A", "ES_A", "EM_A")
-DIR_STABLE = frozenset({D_I, D_S, D_EM})
+D_I, D_S, D_EM, D_O, D_IE_A, D_SM_A, D_EM_A, D_EO_A, D_OM_AD = range(9)
+DIR_STATE_NAMES = ("I", "S", "EM", "O", "IE_A", "SM_A", "EM_A", "EO_A", "OM_AD")
+DIR_STABLE = frozenset({D_I, D_S, D_EM, D_O})
 
 GETS, GETM = "GetS", "GetM"
 DATAS, DATAE = "DataS", "DataE"
 INV, INVACK, DATAACK = "Inv", "InvAck", "DataAck"
+FWDGETS, ACKO, ACKS = "FwdGetS", "AckO", "AckS"
 
 #: states in which each cache-bound message is acceptable
 CACHE_EXPECTS = {
     DATAS: frozenset({C_IS_D, C_IS_D_I}),
-    DATAE: frozenset({C_IS_D, C_IM_D, C_SM_D, C_IS_D_I}),
-    INV: frozenset(range(8)),  # invalidations are acked from anywhere
+    DATAE: frozenset({C_IS_D, C_IM_D, C_SM_D, C_OM_A, C_IS_D_I}),
+    INV: frozenset(range(10)),  # invalidations are acked from anywhere
+    FWDGETS: CACHE_OWNERLIKE,  # forwards only ever reach a data holder
 }
 DIR_EXPECTS = {
-    INVACK: frozenset({D_SM_A, D_ES_A, D_EM_A}),
+    INVACK: frozenset({D_SM_A, D_EM_A, D_OM_AD}),
     DATAACK: frozenset({D_IE_A}),
+    ACKO: frozenset({D_EO_A}),
+    ACKS: frozenset({D_EO_A}),
 }
 
 LOAD, STORE = "Load", "Store"
 _SPONTANEOUS = frozenset({LOAD, STORE})
 
 State = Tuple
+
+#: seeded-bug names accepted by :func:`build_moesi_system`
+BUGS = ("no-owner-inv",)
 
 
 def initial_state(n_caches: int) -> State:
@@ -77,7 +105,7 @@ def initial_state(n_caches: int) -> State:
 
 
 class View:
-    """Mutable per-firing scratch copy (same shape as the MSI module's)."""
+    """Mutable per-firing scratch copy (same shape as the MESI module's)."""
 
     __slots__ = ("caches", "dirst", "owner", "sharers", "req", "acks", "net")
 
@@ -100,7 +128,7 @@ class View:
         self.net = self.net.remove((mtype, cache))
 
     def goto_dir(self, code: int) -> None:
-        """Move the directory; stable states clear transaction state."""
+        """Move the directory; entering a stable state clears transaction state."""
         self.dirst = code
         if code in DIR_STABLE:
             self.req = -1
@@ -137,11 +165,19 @@ Handler = Callable[[View, int, object], None]
 
 #: holeable transient completions: (response action, next state) by name
 REFERENCE_CACHE_COMPLETIONS: Dict[Tuple[int, str], Tuple[str, str]] = {
+    # The MOESI hallmark: a dirty owner serves the reader and keeps the
+    # line in Owned instead of writing back.
+    (C_M, FWDGETS): ("fwd_data_keep", "goto_O"),
+    (C_E, FWDGETS): ("fwd_data_release", "goto_S"),
+    (C_O, FWDGETS): ("fwd_data_keep", "goto_O"),
+    (C_OM_A, FWDGETS): ("fwd_data_keep", "goto_OM_A"),
+    (C_OM_A, DATAE): ("send_dataack", "goto_M"),
+    (C_OM_A, INV): ("send_invack", "goto_IM_D"),
     (C_IS_D, DATAS): ("none", "goto_S"),
-    (C_IS_D, DATAE): ("send_dataack", "goto_E"),   # take the exclusive grant
+    (C_IS_D, DATAE): ("send_dataack", "goto_E"),
     (C_IS_D, INV): ("send_invack", "goto_IS_D_I"),
     (C_IS_D_I, DATAS): ("none", "goto_I"),
-    (C_IS_D_I, DATAE): ("send_dataack", "goto_I"),  # still must release IE_A
+    (C_IS_D_I, DATAE): ("send_dataack", "goto_I"),
     (C_IM_D, DATAE): ("send_dataack", "goto_M"),
     (C_IM_D, INV): ("send_invack", "goto_IM_D"),
     (C_SM_D, DATAE): ("send_dataack", "goto_M"),
@@ -153,10 +189,18 @@ CACHE_TABLE_ORDER: Tuple[Tuple[int, str], ...] = (
     (C_I, STORE),
     (C_S, STORE),
     (C_E, STORE),
+    (C_O, STORE),
     (C_S, INV),
     (C_E, INV),
+    (C_O, INV),
     (C_M, INV),
     (C_I, INV),
+    (C_M, FWDGETS),
+    (C_E, FWDGETS),
+    (C_O, FWDGETS),
+    (C_OM_A, FWDGETS),
+    (C_OM_A, DATAE),
+    (C_OM_A, INV),
     (C_IM_D, DATAE),
     (C_IM_D, INV),
     (C_SM_D, DATAE),
@@ -170,16 +214,34 @@ CACHE_TABLE_ORDER: Tuple[Tuple[int, str], ...] = (
 
 
 def cache_response_domain() -> List[Action]:
-    """Candidate responses for holeable cache rules."""
+    """Candidate responses for holeable cache rules.
+
+    ``fwd_data_keep``/``fwd_data_release`` implement the owner side of a
+    forwarded read: data goes straight to the directory's recorded
+    requester, and the directory is told whether ownership was retained.
+    """
+
+    def fwd_data_keep(view: View, cache: int) -> None:
+        if view.req >= 0:
+            view.send(DATAS, view.req)
+        view.send(ACKO, cache)
+
+    def fwd_data_release(view: View, cache: int) -> None:
+        if view.req >= 0:
+            view.send(DATAS, view.req)
+        view.send(ACKS, cache)
+
     return [
         Action("none", fn=lambda view, cache: None),
         Action("send_invack", fn=lambda view, cache: view.send(INVACK, cache)),
         Action("send_dataack", fn=lambda view, cache: view.send(DATAACK, cache)),
+        Action("fwd_data_keep", fn=fwd_data_keep),
+        Action("fwd_data_release", fn=fwd_data_release),
     ]
 
 
 def cache_next_domain() -> List[Action]:
-    """Candidate next-states for holeable cache rules."""
+    """Candidate next-states for holeable cache rules (all ten states)."""
     return [
         Action(f"goto_{name}", payload=code)
         for code, name in enumerate(CACHE_STATE_NAMES)
@@ -207,6 +269,7 @@ def _holed_handler(response_hole: Hole, next_hole: Hole) -> Handler:
 
 def reference_cache_table() -> Dict[Tuple[int, str], Handler]:
     """The complete cache controller (transients from the reference table)."""
+
     def load(view, cache, ctx):
         view.send(GETS, cache)
         view.caches[cache] = C_IS_D
@@ -220,8 +283,13 @@ def reference_cache_table() -> Dict[Tuple[int, str], Handler]:
         view.caches[cache] = C_SM_D
 
     def store_e(view, cache, ctx):
-        # The MESI hallmark: silent upgrade, no directory traffic.
+        # Inherited MESI hallmark: silent upgrade, no directory traffic.
         view.caches[cache] = C_M
+
+    def store_o(view, cache, ctx):
+        # An owner cannot upgrade silently — sharers must be invalidated.
+        view.send(GETM, cache)
+        view.caches[cache] = C_OM_A
 
     def inv_ack_to_i(view, cache, ctx):
         view.send(INVACK, cache)
@@ -235,8 +303,10 @@ def reference_cache_table() -> Dict[Tuple[int, str], Handler]:
         (C_I, STORE): store_i,
         (C_S, STORE): store_s,
         (C_E, STORE): store_e,
+        (C_O, STORE): store_o,
         (C_S, INV): inv_ack_to_i,
         (C_E, INV): inv_ack_to_i,
+        (C_O, INV): inv_ack_to_i,
         (C_M, INV): inv_ack_to_i,
         (C_I, INV): inv_stale,
     }
@@ -251,11 +321,13 @@ def reference_cache_table() -> Dict[Tuple[int, str], Handler]:
 REFERENCE_DIR_COMPLETIONS: Dict[Tuple[int, str], Tuple[str, str, str]] = {
     (D_IE_A, DATAACK): ("none", "goto_EM", "none"),
     (D_SM_A, INVACK): ("send_data_excl", "goto_IE_A", "owner_is_req"),
-    (D_ES_A, INVACK): ("send_data_shared", "goto_S", "add_req_sharer"),
     (D_EM_A, INVACK): ("send_data_excl", "goto_IE_A", "owner_is_req"),
+    (D_OM_AD, INVACK): ("send_data_excl", "goto_IE_A", "owner_is_req"),
+    (D_EO_A, ACKO): ("none", "goto_O", "add_req_sharer"),
+    (D_EO_A, ACKS): ("none", "goto_S", "release_owner_shared"),
 }
 
-ACK_COUNTING = frozenset({(D_SM_A, INVACK), (D_ES_A, INVACK), (D_EM_A, INVACK)})
+ACK_COUNTING = frozenset({(D_SM_A, INVACK), (D_EM_A, INVACK), (D_OM_AD, INVACK)})
 
 DIR_TABLE_ORDER: Tuple[Tuple[int, str], ...] = (
     (D_I, GETS),
@@ -264,15 +336,20 @@ DIR_TABLE_ORDER: Tuple[Tuple[int, str], ...] = (
     (D_S, GETM),
     (D_EM, GETS),
     (D_EM, GETM),
+    (D_O, GETS),
+    (D_O, GETM),
     (D_IE_A, DATAACK),
     (D_SM_A, INVACK),
-    (D_ES_A, INVACK),
     (D_EM_A, INVACK),
+    (D_OM_AD, INVACK),
+    (D_EO_A, ACKO),
+    (D_EO_A, ACKS),
 )
 
 
 def dir_response_domain() -> List[Action]:
     """Candidate responses for holeable directory rules."""
+
     def send_data_shared(view: View, cache: int) -> None:
         if view.req >= 0:
             view.send(DATAS, view.req)
@@ -292,17 +369,22 @@ def dir_response_domain() -> List[Action]:
             view.send(INV, view.owner)
             view.acks = 1
 
+    def send_fwd_gets(view: View, cache: int) -> None:
+        if view.owner >= 0:
+            view.send(FWDGETS, view.owner)
+
     return [
         Action("none", fn=lambda view, cache: None),
         Action("send_data_shared", fn=send_data_shared),
         Action("send_data_excl", fn=send_data_excl),
         Action("send_inv_sharers", fn=send_inv_sharers),
         Action("send_inv_owner", fn=send_inv_owner),
+        Action("send_fwd_gets", fn=send_fwd_gets),
     ]
 
 
 def dir_next_domain() -> List[Action]:
-    """Candidate directory next-states."""
+    """Candidate directory next-states (all nine states)."""
     return [
         Action(f"goto_{name}", payload=code)
         for code, name in enumerate(DIR_STATE_NAMES)
@@ -311,6 +393,7 @@ def dir_next_domain() -> List[Action]:
 
 def dir_track_domain() -> List[Action]:
     """Candidate sharer/owner bookkeeping updates."""
+
     def owner_is_req(view: View, cache: int) -> None:
         if view.req >= 0:
             view.owner = view.req
@@ -319,12 +402,19 @@ def dir_track_domain() -> List[Action]:
     def add_req_sharer(view: View, cache: int) -> None:
         if view.req >= 0:
             view.sharers = view.sharers | {view.req}
-            view.owner = -1
+
+    def release_owner_shared(view: View, cache: int) -> None:
+        extra = {view.req} if view.req >= 0 else set()
+        if view.owner >= 0:
+            extra = extra | {view.owner}
+        view.sharers = view.sharers | extra
+        view.owner = -1
 
     return [
         Action("none", fn=lambda view, cache: None),
         Action("owner_is_req", fn=owner_is_req),
         Action("add_req_sharer", fn=add_req_sharer),
+        Action("release_owner_shared", fn=release_owner_shared),
     ]
 
 
@@ -368,10 +458,17 @@ def _dir_holed_handler(key, holes: Tuple[Hole, Hole, Hole]) -> Handler:
     return handler
 
 
-def reference_dir_table() -> Dict[Tuple[int, str], Handler]:
-    """The complete directory controller."""
+def reference_dir_table(bug: Optional[str] = None) -> Dict[Tuple[int, str], Handler]:
+    """The complete directory controller.
+
+    ``bug="no-owner-inv"`` seeds the classic write-serialisation bug: a
+    ``GetM`` arriving while the line is Owned grants exclusive access after
+    collecting sharer acks but never invalidates the *owner*, so requester
+    and owner end up writable/readable together (caught by ``swmr``).
+    """
+
     def gets_in_i(view, cache, ctx):
-        # No other copy exists: grant *exclusive* (the E optimisation) and
+        # No other copy exists: grant exclusive (the E optimisation) and
         # serialise until the grantee acks.
         view.req = cache
         _dir_triple(view, cache, "send_data_excl", "goto_IE_A", "owner_is_req")
@@ -393,12 +490,35 @@ def reference_dir_table() -> Dict[Tuple[int, str], Handler]:
             _dir_triple(view, cache, "send_data_excl", "goto_IE_A", "owner_is_req")
 
     def gets_in_em(view, cache, ctx):
+        # MOESI divergence from MESI: the owner is *forwarded to*, not
+        # invalidated — it answers the reader itself.
         view.req = cache
-        _dir_triple(view, cache, "send_inv_owner", "goto_ES_A", "none")
+        _dir_triple(view, cache, "send_fwd_gets", "goto_EO_A", "none")
 
     def getm_in_em(view, cache, ctx):
         view.req = cache
         _dir_triple(view, cache, "send_inv_owner", "goto_EM_A", "none")
+
+    def gets_in_o(view, cache, ctx):
+        view.req = cache
+        _dir_triple(view, cache, "send_fwd_gets", "goto_EO_A", "none")
+
+    def getm_in_o(view, cache, ctx):
+        view.req = cache
+        targets = view.sharers - {cache}
+        for target in sorted(targets):
+            view.send(INV, target)
+        acks = len(targets)
+        if bug != "no-owner-inv" and view.owner != cache:
+            view.send(INV, view.owner)
+            acks += 1
+        view.acks = acks
+        if acks:
+            view.goto_dir(D_OM_AD)
+        else:
+            # Nothing left to invalidate (only reachable with the seeded
+            # bug, which skips the owner): grant immediately.
+            _dir_triple(view, cache, "send_data_excl", "goto_IE_A", "owner_is_req")
 
     table: Dict[Tuple[int, str], Handler] = {
         (D_I, GETS): gets_in_i,
@@ -407,6 +527,8 @@ def reference_dir_table() -> Dict[Tuple[int, str], Handler]:
         (D_S, GETM): getm_in_s,
         (D_EM, GETS): gets_in_em,
         (D_EM, GETM): getm_in_em,
+        (D_O, GETS): gets_in_o,
+        (D_O, GETM): getm_in_o,
     }
     for key, names in REFERENCE_DIR_COMPLETIONS.items():
         table[key] = _dir_completion_handler(key, *names)
@@ -416,14 +538,16 @@ def reference_dir_table() -> Dict[Tuple[int, str], Handler]:
 # -- properties -----------------------------------------------------------------------
 
 _EXCLUSIVE = frozenset({C_E, C_M})
-_READABLE = frozenset({C_S, C_E, C_M})
+_READABLE = frozenset({C_S, C_E, C_O, C_M})
+_OWNERSHIP = frozenset({C_E, C_O, C_M})
 
 
-def _mesi_swmr(state) -> bool:
+def _moesi_swmr(state) -> bool:
     caches = state[0]
     exclusive = sum(1 for c in caches if c in _EXCLUSIVE)
+    owners = sum(1 for c in caches if c in _OWNERSHIP)
     readers = sum(1 for c in caches if c in _READABLE)
-    if exclusive > 1:
+    if owners > 1:
         return False
     return not (exclusive == 1 and readers > 1)
 
@@ -444,10 +568,35 @@ def _no_unexpected_message(state) -> bool:
 
 def _dir_bookkeeping(state) -> bool:
     _caches, dirst, owner, sharers, _req, _acks, _net = state
-    if dirst == D_EM and owner < 0:
+    if dirst == D_EM and (owner < 0 or sharers):
         return False
-    if dirst == D_S and not sharers:
+    if dirst == D_O and (owner < 0 or not sharers or owner in sharers):
         return False
+    if dirst == D_S and (not sharers or owner >= 0):
+        return False
+    return True
+
+
+def _owner_holds_data(state) -> bool:
+    """The data-integrity abstraction: the directory's designated supplier
+    really is in a data-holding state, and recorded sharers really share.
+
+    With no concrete values in the model, "the reader got the right data"
+    reduces to "whoever the directory would have supply data actually has
+    it" — a violated completion (e.g. an owner that acks ownership but
+    drops the line) breaks this immediately.
+    """
+    caches, dirst, owner, sharers, _req, _acks, _net = state
+    if dirst == D_EM and caches[owner] not in (C_E, C_M):
+        return False
+    if dirst == D_O and caches[owner] not in (C_O, C_OM_A):
+        return False
+    if dirst in (D_S, D_O):
+        # A recorded sharer is either sharing already, upgrading, or still
+        # waiting for its (in-flight) data response.
+        for sharer in sharers:
+            if caches[sharer] not in (C_S, C_SM_D, C_IS_D, C_IS_D_I):
+                return False
     return True
 
 
@@ -456,6 +605,7 @@ _WAIT_EXPECTATIONS = {
     C_IS_D_I: (GETS, DATAS, DATAE),
     C_IM_D: (GETM, DATAE, INV),
     C_SM_D: (GETM, DATAE, INV),
+    C_OM_A: (GETM, DATAE, INV),
 }
 
 
@@ -482,30 +632,34 @@ def _quiescent(state) -> bool:
     return all(c in CACHE_STABLE for c in caches)
 
 
-def mesi_invariants(n_caches: int) -> List[Invariant]:
-    """Safety property set: coherence plus message/bookkeeping integrity."""
-    bound = 2 * n_caches + 2
+def moesi_invariants(n_caches: int) -> List[Invariant]:
+    """Safety property set: coherence, message/bookkeeping/data integrity."""
+    bound = 2 * n_caches + 3
     return [
-        Invariant("swmr", _mesi_swmr),
+        Invariant("swmr", _moesi_swmr),
         Invariant("no-unexpected-message", _no_unexpected_message),
         Invariant("dir-bookkeeping", _dir_bookkeeping),
+        Invariant("owner-holds-data", _owner_holds_data),
         Invariant("no-orphaned-wait", _no_orphaned_wait),
         Invariant("network-bounded", lambda s, _b=bound: len(s[6]) <= _b),
     ]
 
 
-def mesi_coverage(n_caches: int) -> List[CoverageProperty]:
-    """Coverage: every stable state must actually be used."""
+def moesi_coverage(n_caches: int) -> List[CoverageProperty]:
+    """Liveness-ish coverage: every stable state must actually be used."""
     properties = [
         CoverageProperty("some-cache-reaches-E", lambda s: C_E in s[0]),
         CoverageProperty("some-cache-reaches-M", lambda s: C_M in s[0]),
         CoverageProperty("dir-reaches-EM", lambda s: s[1] == D_EM),
     ]
     if n_caches >= 2:
-        # A lone cache is always granted exclusively; S needs two readers.
+        # O and S both need a second participant: O is entered when a
+        # *different* cache reads a dirty line, S when two caches share.
         properties.extend(
             [
+                CoverageProperty("some-cache-reaches-O", lambda s: C_O in s[0]),
                 CoverageProperty("some-cache-reaches-S", lambda s: C_S in s[0]),
+                CoverageProperty("dir-reaches-O", lambda s: s[1] == D_O),
                 CoverageProperty("dir-reaches-S", lambda s: s[1] == D_S),
             ]
         )
@@ -549,19 +703,22 @@ def _dir_rule(c: int, state_code: int, event: str, handler: Handler) -> Rule:
     return Rule(f"dir:{state_name}+{event}[c={c}]", guard, apply, params={"c": c})
 
 
-def build_mesi_system(
+def build_moesi_system(
     n_caches: int = 2,
     cache_table: Optional[Dict] = None,
     dir_table: Optional[Dict] = None,
-    name: str = "mesi",
+    name: str = "moesi",
     symmetry: bool = True,
     coverage: bool = True,
+    bug: Optional[str] = None,
 ) -> TransitionSystem:
-    """The complete MESI protocol (or a skeleton when tables are passed)."""
+    """The complete MOESI protocol (or a skeleton when tables are passed)."""
     if n_caches < 1:
         raise ValueError("n_caches must be >= 1")
+    if bug is not None and bug not in BUGS:
+        raise ValueError(f"unknown seeded bug {bug!r}; available: {', '.join(BUGS)}")
     cache_table = cache_table if cache_table is not None else reference_cache_table()
-    dir_table = dir_table if dir_table is not None else reference_dir_table()
+    dir_table = dir_table if dir_table is not None else reference_dir_table(bug=bug)
 
     rules = []
     for c in range(n_caches):
@@ -585,8 +742,8 @@ def build_mesi_system(
         name=f"{name}-{n_caches}c",
         initial_states=[initial_state(n_caches)],
         rules=rules,
-        invariants=mesi_invariants(n_caches),
-        coverage=mesi_coverage(n_caches) if coverage else [],
+        invariants=moesi_invariants(n_caches),
+        coverage=moesi_coverage(n_caches) if coverage else [],
         deadlock=DeadlockPolicy.fail(quiescent=_quiescent),
         canonicalize=canonicalize,
     )
@@ -597,26 +754,28 @@ def build_mesi_system(
 REFERENCE_ASSIGNMENT_NAMES: Dict[str, str] = {}
 for (code, event), (resp, nxt) in REFERENCE_CACHE_COMPLETIONS.items():
     _rule = f"{CACHE_STATE_NAMES[code]}+{event}"
-    REFERENCE_ASSIGNMENT_NAMES[f"mesi.cache.{_rule}.response"] = resp
-    REFERENCE_ASSIGNMENT_NAMES[f"mesi.cache.{_rule}.next"] = nxt
+    REFERENCE_ASSIGNMENT_NAMES[f"moesi.cache.{_rule}.response"] = resp
+    REFERENCE_ASSIGNMENT_NAMES[f"moesi.cache.{_rule}.next"] = nxt
 for (code, event), (resp, nxt, track) in REFERENCE_DIR_COMPLETIONS.items():
     _rule = f"{DIR_STATE_NAMES[code]}+{event}"
-    REFERENCE_ASSIGNMENT_NAMES[f"mesi.dir.{_rule}.response"] = resp
-    REFERENCE_ASSIGNMENT_NAMES[f"mesi.dir.{_rule}.next"] = nxt
-    REFERENCE_ASSIGNMENT_NAMES[f"mesi.dir.{_rule}.track"] = track
+    REFERENCE_ASSIGNMENT_NAMES[f"moesi.dir.{_rule}.response"] = resp
+    REFERENCE_ASSIGNMENT_NAMES[f"moesi.dir.{_rule}.next"] = nxt
+    REFERENCE_ASSIGNMENT_NAMES[f"moesi.dir.{_rule}.track"] = track
 
 
-def build_mesi_skeleton(
-    cache_rules: Tuple[Tuple[int, str], ...] = ((C_IS_D, DATAE),),
+def build_moesi_skeleton(
+    cache_rules: Tuple[Tuple[int, str], ...] = ((C_M, FWDGETS),),
     dir_rules: Tuple[Tuple[int, str], ...] = (),
     n_caches: int = 2,
     coverage: bool = True,
 ) -> Tuple[TransitionSystem, List[Hole]]:
-    """A MESI skeleton with the given transient rules blanked out.
+    """A MOESI skeleton with the given transient rules blanked out.
 
-    The default holes the exclusive-grant arrival (IS_D+DataE): should the
-    cache take E, and must it acknowledge?  Only (send_dataack, goto_E)
-    satisfies the coverage property that some cache actually reaches E.
+    The default holes the hallmark transition — a dirty owner receiving a
+    forwarded read (M+FwdGetS): must the owner keep the line, and what does
+    it tell the directory?  With coverage on, only the reference completion
+    (``fwd_data_keep``, ``goto_O``) both serves the reader and actually
+    reaches the Owned state.
     """
     cache_table = reference_cache_table()
     dir_table = reference_dir_table()
@@ -626,8 +785,8 @@ def build_mesi_skeleton(
         if key not in REFERENCE_CACHE_COMPLETIONS:
             raise SynthesisError(f"cache rule {key} is not holeable")
         rule = f"{CACHE_STATE_NAMES[key[0]]}+{key[1]}"
-        response = Hole(f"mesi.cache.{rule}.response", cache_response_domain())
-        next_state = Hole(f"mesi.cache.{rule}.next", cache_next_domain())
+        response = Hole(f"moesi.cache.{rule}.response", cache_response_domain())
+        next_state = Hole(f"moesi.cache.{rule}.next", cache_next_domain())
         cache_table[key] = _holed_handler(response, next_state)
         holes.extend([response, next_state])
 
@@ -636,18 +795,18 @@ def build_mesi_skeleton(
             raise SynthesisError(f"directory rule {key} is not holeable")
         rule = f"{DIR_STATE_NAMES[key[0]]}+{key[1]}"
         triple = (
-            Hole(f"mesi.dir.{rule}.response", dir_response_domain()),
-            Hole(f"mesi.dir.{rule}.next", dir_next_domain()),
-            Hole(f"mesi.dir.{rule}.track", dir_track_domain()),
+            Hole(f"moesi.dir.{rule}.response", dir_response_domain()),
+            Hole(f"moesi.dir.{rule}.next", dir_next_domain()),
+            Hole(f"moesi.dir.{rule}.track", dir_track_domain()),
         )
         dir_table[key] = _dir_holed_handler(key, triple)
         holes.extend(triple)
 
-    system = build_mesi_system(
+    system = build_moesi_system(
         n_caches=n_caches,
         cache_table=cache_table,
         dir_table=dir_table,
-        name="mesi-skeleton",
+        name="moesi-skeleton",
         coverage=coverage,
     )
     return system, holes

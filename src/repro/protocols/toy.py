@@ -51,8 +51,8 @@ def build_figure2_holes() -> List[Hole]:
     ]
 
 
-def build_figure2_skeleton() -> TransitionSystem:
-    """The Figure 2 toy skeleton, ready for a synthesis engine."""
+def build_figure2_skeleton_with_holes() -> Tuple[TransitionSystem, List[Hole]]:
+    """The Figure 2 toy skeleton plus the hole objects embedded in it."""
     holes = build_figure2_holes()
     hole_for = dict(zip(DECISION_STATES, holes))
 
@@ -69,13 +69,19 @@ def build_figure2_skeleton() -> TransitionSystem:
             apply=apply,
         )
 
-    return TransitionSystem(
+    system = TransitionSystem(
         name="figure2-toy",
         initial_states=["s0"],
         rules=[make_rule(name) for name in DECISION_STATES],
         invariants=[Invariant("no-error", lambda state: state != "err")],
         deadlock=DeadlockPolicy.fail(quiescent=lambda state: state == "ok"),
     )
+    return system, holes
+
+
+def build_figure2_skeleton() -> TransitionSystem:
+    """The Figure 2 toy skeleton, ready for a synthesis engine."""
+    return build_figure2_skeleton_with_holes()[0]
 
 
 def build_figure2_solution() -> Dict[str, str]:

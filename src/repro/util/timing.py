@@ -20,17 +20,20 @@ class Stopwatch:
 
     @classmethod
     def started(cls) -> "Stopwatch":
+        """A new stopwatch, already running."""
         watch = cls()
         watch.start()
         return watch
 
     def start(self) -> None:
+        """Start (or restart) timing from now."""
         if self._running:
             raise RuntimeError("stopwatch already running")
         self._start = time.perf_counter()
         self._running = True
 
     def stop(self) -> float:
+        """Stop timing and freeze the elapsed value."""
         if not self._running:
             raise RuntimeError("stopwatch not running")
         self._accumulated += time.perf_counter() - self._start
@@ -39,6 +42,7 @@ class Stopwatch:
 
     @property
     def elapsed(self) -> float:
+        """Seconds measured so far (live while running)."""
         if self._running:
             return self._accumulated + (time.perf_counter() - self._start)
         return self._accumulated

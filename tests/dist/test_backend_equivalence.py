@@ -16,7 +16,7 @@ from repro.dist import DistributedSynthesisEngine, SystemSpec
 from repro.errors import SynthesisError
 from repro.protocols.catalog import build_skeleton
 
-SKELETONS = ["msi-tiny", "mutex"]
+SKELETONS = ["msi-tiny", "mutex", "moesi-small", "german-small"]
 
 
 def run_backend(backend, name, config=None):

@@ -109,12 +109,69 @@ class TestSynth:
         assert "prefix cache" in capsys.readouterr().out
 
 
+class TestNewWorkloads:
+    def test_verify_moesi(self, capsys):
+        assert main(["verify", "moesi", "--caches", "2"]) == 0
+        assert "moesi-2c" in capsys.readouterr().out
+
+    def test_verify_german(self, capsys):
+        assert main(["verify", "german", "--procs", "2"]) == 0
+        assert "german-2p" in capsys.readouterr().out
+
+    def test_synth_moesi_small(self, capsys):
+        assert main(["synth", "moesi-small"]) == 0
+        assert "solutions:         1" in capsys.readouterr().out
+
+    def test_synth_german_small(self, capsys):
+        assert main(["synth", "german-small"]) == 0
+        assert "solutions:         1" in capsys.readouterr().out
+
+
+class TestMatrix:
+    def test_matrix_requires_a_source(self, capsys):
+        assert main(["matrix"]) == 2
+        assert "--preset or --spec" in capsys.readouterr().err
+
+    def test_matrix_list_presets(self, capsys):
+        assert main(["matrix", "--list-presets"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "smoke" in out
+
+    def test_matrix_spec_runs_and_resumes(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '{"name": "cli-test", "include": [{"id": "a", "target": "figure2"}]}'
+        )
+        out_dir = tmp_path / "out"
+        assert main(["matrix", "--spec", str(spec), "--out", str(out_dir)]) == 0
+        assert "1 executed" in capsys.readouterr().out
+        assert main(["matrix", "--spec", str(spec), "--out", str(out_dir)]) == 0
+        assert "1 resumed" in capsys.readouterr().out
+
+    def test_matrix_bad_spec_is_a_clean_error(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text('{"name": "bad", "include": [{"target": "nope"}]}')
+        assert main(["matrix", "--spec", str(spec), "--out", str(tmp_path)]) == 2
+        assert "unknown skeleton" in capsys.readouterr().err
+
+
 class TestMisc:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "msi-small" in out
         assert "mutex" in out
+
+    def test_list_shows_hole_counts_and_replica_ranges(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert " 8 holes" in out          # msi-small
+        assert "replicas 2..3" in out     # the new workloads' range
+        assert "german-small" in out
+        assert "moesi-small" in out
+        # The verify side gets ranges too.
+        assert "german" in out.split("skeletons")[0]
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

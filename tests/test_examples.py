@@ -63,6 +63,14 @@ def test_mesi_synthesis():
     assert "unique solution = the textbook completion" in proc.stdout
 
 
+def test_protocol_zoo():
+    proc = run_example("protocol_zoo.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "the zoo is healthy" in proc.stdout
+    assert "moesi no-owner-inv: caught" in proc.stdout
+    assert "german stale-shared-grant: caught" in proc.stdout
+
+
 def test_table1_help():
     proc = run_example("table1.py", "--help")
     assert proc.returncode == 0, proc.stderr
