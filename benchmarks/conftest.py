@@ -16,7 +16,6 @@ Conventions:
 from __future__ import annotations
 
 import os
-from typing import Dict
 
 import pytest
 

@@ -12,7 +12,6 @@
    (the paper's Section III observation).
 """
 
-import pytest
 
 from benchmarks.conftest import attach_report, bench_caches, run_once
 from repro.core import SynthesisConfig, SynthesisEngine

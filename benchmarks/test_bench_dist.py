@@ -26,7 +26,7 @@ from benchmarks.conftest import (
     run_once,
     small_enabled,
 )
-from repro.core import SynthesisConfig, SynthesisEngine
+from repro.core import SynthesisEngine
 from repro.core.parallel import ParallelSynthesisEngine
 from repro.dist import DistributedSynthesisEngine, SystemSpec
 from repro.protocols.catalog import build_skeleton

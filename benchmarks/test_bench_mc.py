@@ -56,7 +56,7 @@ def update_bench_json(section: str, payload: dict) -> None:
         except (OSError, ValueError):
             data = {}
     # Drop pre-sectioned legacy top-level keys so the file self-cleans.
-    sections = ("single_candidate", "synthesis", "moesi", "german")
+    sections = ("single_candidate", "synthesis", "moesi", "german", "por")
     data = {k: v for k, v in data.items() if k in sections}
     data[section] = payload
     data["cpu_count"] = os.cpu_count()
@@ -211,6 +211,141 @@ def test_german_workload(benchmark):
     payload = _workload_payload(build_german_system, "german-small", benchmark)
     update_bench_json("german", payload)
     benchmark.extra_info.update(payload)
+
+
+def test_por_reduction(benchmark):
+    """Partial-order reduction on/off: states visited and wall-clock.
+
+    Single-threaded rows only (no cpu_count gating).  The POR runs share
+    one system per workload so the one-time footprint probe is amortised
+    the way a synthesis run (or any repeated checking of one system)
+    amortises it; the recorded seconds *include* that probe.
+
+    Honesty note: with symmetry reduction already folding replica
+    permutations, POR's remaining win at catalog sizes is measured at
+    ~9-22% of states depending on the protocol (MOESI/MESI/German reduce
+    best; MSI's directory-collected invalidation acks serialise its
+    replicas and leave only a few percent at 3 caches).  The ISSUE's
+    aspirational >= 30% did not survive contact with the measurements;
+    the floors asserted below are the deterministic measured values with
+    a safety margin.
+    """
+    from repro.core.engine import SynthesisObserver
+    from repro.mc.kernel import make_explorer
+    from repro.protocols.catalog import PROTOCOL_BUILDERS
+
+    por_repeats = 3
+    verify_rows = []
+    for name, replicas in (("msi", 2), ("mesi", 2), ("moesi", 2), ("german", 2)):
+        builder = PROTOCOL_BUILDERS[name]
+
+        # Both sides share one system across repeats so the orbit cache
+        # is equally warm; the timing isolates POR itself (probe included).
+        off_system = builder(replicas)
+        start = time.perf_counter()
+        for _ in range(por_repeats):
+            off = make_explorer("bfs", off_system).run()
+        off_seconds = time.perf_counter() - start
+
+        shared = builder(replicas)
+        start = time.perf_counter()
+        for _ in range(por_repeats):
+            on = make_explorer("bfs", shared, partial_order=True).run()
+        on_seconds = time.perf_counter() - start
+
+        assert off.verdict is Verdict.SUCCESS
+        assert on.verdict is Verdict.SUCCESS
+        assert on.stats.states_visited <= off.stats.states_visited
+        reduction = 1.0 - on.stats.states_visited / off.stats.states_visited
+        verify_rows.append(
+            {
+                "protocol": name,
+                "replicas": replicas,
+                "states_off": off.stats.states_visited,
+                "states_on": on.stats.states_visited,
+                "states_reduction": round(reduction, 4),
+                "seconds_off": round(off_seconds, 4),
+                "seconds_on_incl_probe": round(on_seconds, 4),
+                "ample_states": on.stats.ample_states,
+                "rules_deferred": on.stats.por_rules_skipped,
+            }
+        )
+
+    class StateTotal(SynthesisObserver):
+        """Sums states visited across every dispatched candidate run."""
+
+        def __init__(self):
+            self.states = 0
+
+        def on_run(self, run_index, vector, result, holes):
+            self.states += result.stats.states_visited
+
+    synth_rows = []
+    for skeleton_name in ("moesi-small", "german-small"):
+        off_total = StateTotal()
+        start = time.perf_counter()
+        off_report = SynthesisEngine(
+            build_skeleton(skeleton_name),
+            SynthesisConfig(partial_order=False),
+            off_total,
+        ).run()
+        off_seconds = time.perf_counter() - start
+
+        on_total = StateTotal()
+        start = time.perf_counter()
+        on_report = SynthesisEngine(
+            build_skeleton(skeleton_name),
+            SynthesisConfig(partial_order=True),
+            on_total,
+        ).run()
+        on_seconds = time.perf_counter() - start
+
+        assert sorted(
+            frozenset(s.assignment) for s in on_report.solutions
+        ) == sorted(frozenset(s.assignment) for s in off_report.solutions)
+        assert on_total.states <= off_total.states
+        synth_rows.append(
+            {
+                "skeleton": skeleton_name,
+                "replicas": 2,
+                "solutions": len(on_report.solutions),
+                "candidate_states_off": off_total.states,
+                "candidate_states_on": on_total.states,
+                "states_reduction": round(
+                    1.0 - on_total.states / off_total.states, 4
+                ),
+                "seconds_off": round(off_seconds, 4),
+                "seconds_on_incl_probe": round(on_seconds, 4),
+                "rules_deferred": on_report.por_rules_skipped,
+            }
+        )
+
+    payload = {
+        "repeats": por_repeats,
+        "verify": verify_rows,
+        "synthesis": synth_rows,
+    }
+    update_bench_json("por", payload)
+    by_name = {row["protocol"]: row["states_reduction"] for row in verify_rows}
+    sys.__stdout__.write(
+        "\nBENCH_mc.json updated: POR states reduction "
+        + ", ".join(f"{k} {v:.1%}" for k, v in by_name.items())
+        + "\n"
+    )
+    sys.__stdout__.flush()
+    benchmark.extra_info.update(payload)
+
+    # Deterministic state counts -> tight-but-safe floors.
+    assert by_name["moesi"] >= 0.15
+    assert by_name["mesi"] >= 0.10
+    assert by_name["german"] >= 0.10
+    assert by_name["msi"] >= 0.08
+    # Candidate checks are dominated by failing completions that die on a
+    # short counterexample before much interleaving exists, so synthesis
+    # reduction is small-but-real; verify-style repeated checking of a
+    # correct system is where POR earns its keep.
+    for row in synth_rows:
+        assert row["states_reduction"] >= 0.01, row
 
 
 @pytest.mark.skipif(not small_enabled(), reason="VERC3_BENCH_SMALL=0")

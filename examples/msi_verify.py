@@ -12,10 +12,9 @@ Run:  python examples/msi_verify.py [n_caches]
 import sys
 
 from repro.mc.bfs import BfsExplorer
-from repro.protocols.msi import defs, msi_skeleton
+from repro.protocols.msi import defs
 from repro.protocols.msi.defs import format_state
 from repro.protocols.msi.cache import make_reference_completion, reference_cache_table
-from repro.protocols.msi.skeleton import SkeletonSpec
 from repro.protocols.msi.system import build_msi_system
 from repro.util.timing import Stopwatch
 

@@ -35,6 +35,7 @@ import sys
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.grouping import describe_groups
+from repro.errors import CliError
 from repro.core import SynthesisConfig, SynthesisEngine
 from repro.core.parallel import ParallelSynthesisEngine
 from repro.dist import DistributedSynthesisEngine, SystemSpec
@@ -81,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--dfs", action="store_true",
                         help="shorthand for --explorer dfs")
+    por_group = verify.add_mutually_exclusive_group()
+    por_group.add_argument(
+        "--por", action="store_true",
+        help="enable footprint-based partial-order reduction (fewer "
+             "states visited; the footprint probe costs a few seconds)",
+    )
+    por_group.add_argument(
+        "--no-por", action="store_true",
+        help="explicitly disable partial-order reduction (the default)",
+    )
     verify.add_argument("--max-states", type=int, default=None)
 
     synth = sub.add_parser("synth", help="synthesise holes in a skeleton")
@@ -113,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-prefix-reuse", action="store_true",
         help="re-explore every candidate from the initial states instead "
              "of resuming from cached shared-prefix explorations",
+    )
+    synth_por = synth.add_mutually_exclusive_group()
+    synth_por.add_argument(
+        "--por", action="store_true",
+        help="enable footprint-based partial-order reduction in candidate "
+             "model checking (fewer states per check; the one-time "
+             "footprint probe costs a few seconds)",
+    )
+    synth_por.add_argument(
+        "--no-por", action="store_true",
+        help="explicitly disable partial-order reduction (the default)",
     )
     synth.add_argument("--refined", action="store_true",
                        help="refined trace-based pruning patterns")
@@ -147,6 +169,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh", action="store_true",
         help="discard an existing journal and re-run every cell",
     )
+    matrix_por = matrix.add_mutually_exclusive_group()
+    matrix_por.add_argument(
+        "--por", action="store_true",
+        help="run every cell with partial-order reduction enabled "
+             "(overrides the spec; use --fresh or a separate --out so "
+             "journaled cells from the other mode are not reused)",
+    )
+    matrix_por.add_argument(
+        "--no-por", action="store_true",
+        help="run every cell with partial-order reduction disabled "
+             "(overrides the spec; same journal caveat as --por)",
+    )
     matrix.add_argument(
         "--list-presets", action="store_true",
         help="print the built-in presets and exit",
@@ -161,12 +195,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_verify(args: argparse.Namespace) -> int:
     """``verify``: model check one complete protocol."""
+    if args.replicas < 1:
+        raise CliError(f"--caches/--procs must be >= 1, got {args.replicas}")
+    if args.dfs and args.explorer not in (None, "dfs"):
+        raise CliError(
+            f"conflicting flags: --dfs contradicts --explorer {args.explorer}"
+        )
     system = PROTOCOLS[args.protocol](
         args.replicas, evictions=args.evictions, symmetry=not args.no_symmetry
     )
     strategy = args.explorer or ("dfs" if args.dfs else "bfs")
     limits = ExplorationLimits(max_states=args.max_states)
-    result = make_explorer(strategy, system, limits=limits).run()
+    result = make_explorer(
+        strategy, system, limits=limits, partial_order=args.por
+    ).run()
     print(f"{system.name}: {result.summary()}")
     if result.trace is not None:
         formatter = format_state if args.protocol == "msi" else repr
@@ -177,6 +219,17 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 def cmd_synth(args: argparse.Namespace) -> int:
     """``synth``: run hole synthesis on one skeleton."""
+    if args.replicas < 1:
+        raise CliError(f"--caches/--procs must be >= 1, got {args.replicas}")
+    if args.workers < 1:
+        raise CliError(f"--workers must be >= 1, got {args.workers}")
+    if args.threads is not None and args.threads < 1:
+        raise CliError(f"--threads must be >= 1, got {args.threads}")
+    if args.naive and args.refined:
+        raise CliError(
+            "conflicting flags: --refined records pruning patterns, which "
+            "--naive disables"
+        )
     config = SynthesisConfig(
         pruning=not args.naive,
         generalise_conflicts=not args.no_generalise,
@@ -186,6 +239,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
         max_evaluations=args.max_evaluations,
         compute_fingerprints=args.groups,
         explorer=args.explorer,
+        partial_order=args.por,
     )
     backend = args.backend
     if backend is None:
@@ -228,8 +282,11 @@ def cmd_matrix(args: argparse.Namespace) -> int:
             print("matrix: one of --preset or --spec is required "
                   "(or --list-presets)", file=sys.stderr)
             return 2
+        force_por = True if args.por else (False if args.no_por else None)
         out_dir = args.out or f"matrix-runs/{spec.name}"
-        runner = MatrixRunner(spec, out_dir, fresh=args.fresh, log=print)
+        runner = MatrixRunner(
+            spec, out_dir, fresh=args.fresh, log=print, force_por=force_por
+        )
         result = runner.run()
     except ExperimentError as exc:
         print(f"matrix: {exc}", file=sys.stderr)
@@ -271,7 +328,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "matrix": cmd_matrix,
         "list": cmd_list,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CliError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

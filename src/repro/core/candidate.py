@@ -52,10 +52,12 @@ class CandidateVector:
 
     @classmethod
     def empty(cls) -> "CandidateVector":
+        """The zero-length candidate (run 1 of the paper)."""
         return cls(())
 
     @classmethod
     def from_digits(cls, digits: Sequence[int]) -> "CandidateVector":
+        """A fully-assigned vector from action indices."""
         return cls(tuple(digits))
 
     def __len__(self) -> int:
@@ -76,6 +78,7 @@ class CandidateVector:
         return WILDCARD
 
     def assigned_positions(self) -> Tuple[int, ...]:
+        """Positions holding a concrete action (not the wildcard)."""
         return tuple(
             index for index, entry in enumerate(self.entries) if entry is not WILDCARD
         )

@@ -73,6 +73,7 @@ class HoleRegistry:
             return tuple(hole.name for hole in self._holes)
 
     def hole_named(self, name: str) -> Hole:
+        """The registered hole with this name, or None."""
         hole = self._names.get(name)
         if hole is None:
             raise KeyError(f"no discovered hole named {name!r}")
@@ -108,6 +109,7 @@ class DefaultingResolver:
         self._default_index = default_index
 
     def resolve(self, hole: Hole):
+        """Resolve per the paper's wildcard semantics (see class docs)."""
         position = self._registry.position_of(hole, register=True)
         entry = self._vector.action_index(position)
         if entry is WILDCARD:

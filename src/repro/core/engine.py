@@ -27,7 +27,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.candidate import WILDCARD, CandidateVector
@@ -107,6 +107,19 @@ class SynthesisConfig:
             (``"bfs"``, the default and the paper's choice because minimal
             traces prune best, or ``"dfs"``).  Shared verbatim with the
             thread and process backends.
+        partial_order: enable footprint-based partial-order reduction in
+            candidate model checking (:mod:`repro.mc.footprint`).  The
+            reduction is candidate-independent (ample decisions depend
+            only on the state, because guards cannot resolve holes), so
+            it composes with prefix reuse: checkpoints record their
+            reduction mode and the kernel refuses a cross-mode resume.
+            Like the other sound accelerations it deactivates itself
+            under exploration ``limits`` (see :attr:`partial_order_active`).
+            Off by default: the footprint probe costs seconds per system,
+            which one-shot catalog-size runs never amortise — POR's win
+            at these scales is states visited (memory and the large-model
+            trajectory), not wall-clock; opt in with ``--por`` and ablate
+            back with ``--no-por``.
     """
 
     pruning: bool = True
@@ -125,12 +138,17 @@ class SynthesisConfig:
     compute_fingerprints: bool = False
     record_traces: bool = True
     explorer: str = "bfs"
+    partial_order: bool = False
 
     def __post_init__(self) -> None:
         if self.explorer not in EXPLORER_STRATEGIES:
             raise SynthesisError(
                 f"unknown explorer {self.explorer!r}; available: "
                 f"{', '.join(sorted(EXPLORER_STRATEGIES))}"
+            )
+        if not isinstance(self.partial_order, bool):
+            raise SynthesisError(
+                f"partial_order must be a bool, got {self.partial_order!r}"
             )
         for knob in ("solution_limit", "max_evaluations", "max_passes"):
             value = getattr(self, knob)
@@ -163,6 +181,16 @@ class SynthesisConfig:
         visit order, which resumption changes.
         """
         return self.pruning and self.prefix_reuse and self._limits_unset
+
+    @property
+    def partial_order_active(self) -> bool:
+        """Whether candidate evaluations may use partial-order reduction.
+
+        Exploration limits disable it: a truncated exploration's verdict
+        depends on visit order and coverage, which a reduced expansion
+        changes — POR is only verdict-exact on complete explorations.
+        """
+        return self.partial_order and self._limits_unset
 
     @property
     def generalise_active(self) -> bool:
@@ -253,6 +281,7 @@ class PrefixCache:
 
     def store(self, key: Tuple[int, ...],
               checkpoint: Optional[ExplorationCheckpoint]) -> None:
+        """Insert or refresh an entry, evicting the oldest beyond capacity."""
         with self._lock:
             self._entries[key] = checkpoint
             self._entries.move_to_end(key)
@@ -260,11 +289,13 @@ class PrefixCache:
                 self._entries.popitem(last=False)
 
     def note_hit(self, states_reused: int) -> None:
+        """Count one resumed candidate evaluation."""
         with self._lock:
             self.hits += 1
             self.states_reused += states_reused
 
     def note_build(self) -> None:
+        """Count one prefix exploration performed to build a checkpoint."""
         with self._lock:
             self.builds += 1
 
@@ -317,6 +348,11 @@ class SynthesisCore:
         #: coordinator folds worker deltas in here; finalize_report adds
         #: this core's own cache counters on top)
         self.merged_prefix_counters = [0, 0, 0]  # hits, builds, states_reused
+        #: partial-order reduction counters summed over this core's
+        #: dispatched candidate runs (plus, on the coordinator, merged
+        #: worker deltas): enabled firings deferred / reduced expansions
+        self.por_rules_skipped = 0
+        self.ample_states = 0
         self.inherent_failure = False
         self.inherent_failure_message = ""
         self.stopped_early = False
@@ -324,6 +360,7 @@ class SynthesisCore:
     # -- evaluation ---------------------------------------------------------
 
     def make_resolver(self, vector: CandidateVector):
+        """The resolver for one candidate (wildcard or defaulting mode)."""
         if self.config.pruning:
             return CandidateResolver(self.registry, vector)
         return DefaultingResolver(
@@ -331,6 +368,7 @@ class SynthesisCore:
         )
 
     def evaluate(self, vector: CandidateVector) -> Tuple[VerificationResult, ExplorationKernel]:
+        """Model check one candidate, resuming from the prefix cache when possible."""
         cache = self.prefix_cache
         resume: Optional[ExplorationCheckpoint] = None
         collect = False
@@ -353,6 +391,7 @@ class SynthesisCore:
             track_hole_paths=self.config.refined_patterns,
             resume_from=resume,
             collect_checkpoint=collect,
+            partial_order=self.config.partial_order_active,
         )
         result = explorer.run()
         if collect:
@@ -414,6 +453,7 @@ class SynthesisCore:
             track_hole_paths=self.config.refined_patterns,
             resume_from=resume,
             collect_checkpoint=True,
+            partial_order=self.config.partial_order_active,
         )
         explorer.run()
         cache.store(prefix, explorer.checkpoint)
@@ -488,6 +528,9 @@ class SynthesisCore:
         report.prefix_cache_hits = hits
         report.prefix_cache_builds = builds
         report.prefix_states_reused = reused
+        report.partial_order = self.config.partial_order_active
+        report.por_rules_skipped = self.por_rules_skipped
+        report.ample_states = self.ample_states
         return report
 
     def handle_result(
@@ -499,6 +542,8 @@ class SynthesisCore:
     ) -> None:
         """Record patterns/solutions for one dispatched candidate."""
         self.verdict_counts[result.verdict.value] += 1
+        self.por_rules_skipped += result.stats.por_rules_skipped
+        self.ample_states += result.stats.ample_states
         vector = CandidateVector.from_digits(digits)
         holes = self.registry.holes
         self.observer.on_run(run_index, vector, result, holes)
@@ -560,6 +605,7 @@ class SynthesisCore:
         return PruningPattern.from_candidate(CandidateVector.from_digits(digits))
 
     def check_evaluation_budget(self) -> None:
+        """Stop the synthesis once the evaluation cap is reached."""
         if (
             self.config.max_evaluations is not None
             and self.evaluated >= self.config.max_evaluations
@@ -654,6 +700,7 @@ class SynthesisEngine:
         self.core = SynthesisCore(system, self.config, observer)
 
     def run(self) -> SynthesisReport:
+        """Run the full synthesis procedure and return the report."""
         core = self.core
         config = self.config
         report = SynthesisReport(

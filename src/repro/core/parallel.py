@@ -67,6 +67,7 @@ class ParallelSynthesisEngine:
         self._stop = threading.Event()
 
     def run(self) -> SynthesisReport:
+        """Run the thread-parallel synthesis and return the report."""
         core = self.core
         report = SynthesisReport(
             system_name=self.system.name,

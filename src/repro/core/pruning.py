@@ -43,7 +43,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.candidate import WILDCARD, CandidateVector
+from repro.core.candidate import CandidateVector
 from repro.errors import WildcardEncountered
 from repro.mc.context import ExecutionContext
 from repro.mc.result import FailureKind, VerificationResult
@@ -144,6 +144,7 @@ class PruningTable:
 
     @property
     def version(self) -> int:
+        """Monotonic counter of accepted patterns (for delta sync)."""
         return len(self._patterns)
 
     def patterns_since(self, version: int) -> List[PruningPattern]:
@@ -164,6 +165,7 @@ class PruningTable:
             return tuple(pattern.constraints for pattern in self._patterns[version:])
 
     def all_patterns(self) -> List[PruningPattern]:
+        """Snapshot of every stored pattern."""
         with self._lock:
             return list(self._patterns)
 
@@ -264,6 +266,7 @@ class DfsMatcher:
 
     @property
     def pattern_count(self) -> int:
+        """Patterns currently integrated into the matcher."""
         return len(self._patterns)
 
 

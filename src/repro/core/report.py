@@ -46,6 +46,7 @@ class Solution:
     executed_holes: Tuple[str, ...] = ()
 
     def assignment_dict(self) -> Dict[str, str]:
+        """The assignment as a hole-name -> action-name dict."""
         return dict(self.assignment)
 
     def __str__(self) -> str:
@@ -82,12 +83,18 @@ class SynthesisReport:
     prefix_cache_hits: int = 0
     prefix_cache_builds: int = 0
     prefix_states_reused: int = 0
+    #: partial-order reduction (see repro.mc.footprint): whether candidate
+    #: runs used it, enabled firings deferred, reduced expansions
+    partial_order: bool = False
+    por_rules_skipped: int = 0
+    ample_states: int = 0
     inherent_failure: bool = False
     inherent_failure_message: str = ""
     stopped_early: bool = False
 
     @property
     def hole_count(self) -> int:
+        """Number of holes discovered."""
         return len(self.holes)
 
     @property
@@ -124,6 +131,7 @@ class SynthesisReport:
         return 1.0 - (self.evaluated / naive)
 
     def format_solution(self, solution: Solution) -> str:
+        """Render one solution in the candidate notation."""
         vector = CandidateVector.from_digits(solution.digits)
         return format_candidate(vector, self.holes)
 
@@ -140,6 +148,7 @@ class SynthesisReport:
         }
 
     def summary(self) -> str:
+        """Multi-line human-readable report summary."""
         lines = [
             f"system:            {self.system_name}",
             f"mode:              {'pruning' if self.pruning else 'naive'}"
@@ -160,6 +169,12 @@ class SynthesisReport:
             f"solutions:         {len(self.solutions)}",
             f"elapsed:           {self.elapsed_seconds:.3f}s",
         ]
+        if self.partial_order:
+            lines.insert(
+                -1,
+                f"partial order:     {self.por_rules_skipped:,} firings "
+                f"deferred at {self.ample_states:,} reduced states",
+            )
         if self.prefix_cache_hits or self.prefix_cache_builds:
             lines.insert(
                 -1,

@@ -236,6 +236,7 @@ class DistributedSynthesisEngine:
     # -- run ---------------------------------------------------------------
 
     def run(self) -> SynthesisReport:
+        """Run the distributed synthesis and return the merged report."""
         core = self.core
         report = SynthesisReport(
             system_name=self.system.name,
@@ -291,6 +292,7 @@ class DistributedSynthesisEngine:
             fail_patterns=core.fail_table.constraints_since(),
             success_patterns=core.success_table.constraints_since(),
             explorer=config.explorer,
+            partial_order=config.partial_order_active,
         )
         watermarks: Dict[int, Tuple[int, int]] = {}
         for worker_id, tasks in enumerate(self._task_queues):
@@ -418,6 +420,8 @@ class DistributedSynthesisEngine:
         core.merged_prefix_counters[0] += result.prefix_cache_hits
         core.merged_prefix_counters[1] += result.prefix_cache_builds
         core.merged_prefix_counters[2] += result.prefix_states_reused
+        core.por_rules_skipped += result.por_rules_skipped
+        core.ample_states += result.ample_states
         for verdict, count in result.verdict_counts.items():
             core.verdict_counts[verdict] = (
                 core.verdict_counts.get(verdict, 0) + count

@@ -49,6 +49,7 @@ class SystemSpec:
     replicas: int = 2
 
     def build(self) -> TransitionSystem:
+        """Rebuild the referenced skeleton locally."""
         return build_skeleton(self.name, self.replicas)
 
 
@@ -62,6 +63,7 @@ class HoleSpec:
 
     @classmethod
     def from_hole(cls, hole: Hole) -> "HoleSpec":
+        """The wire spec of a local hole object."""
         return cls(hole.name, tuple(action.name for action in hole.domain))
 
     def placeholder(self) -> Hole:
@@ -75,6 +77,7 @@ class HoleSpec:
 
     @property
     def arity(self) -> int:
+        """Number of candidate actions."""
         return len(self.actions)
 
 
@@ -98,6 +101,12 @@ class PassStart:
     fail_patterns: Tuple[Constraints, ...]
     success_patterns: Tuple[Constraints, ...]
     explorer: str = "bfs"
+    #: whether the coordinator model checks with partial-order reduction;
+    #: like ``explorer`` this is a cross-process consistency tripwire —
+    #: POR changes rule firing order and therefore hole discovery order,
+    #: so a worker running the other mode would corrupt position
+    #: correlation
+    partial_order: bool = False
 
 
 @dataclass(frozen=True)
@@ -144,6 +153,9 @@ class BatchResult:
     prefix_cache_hits: int = 0
     prefix_cache_builds: int = 0
     prefix_states_reused: int = 0
+    #: partial-order reduction deltas: firings deferred / reduced states
+    por_rules_skipped: int = 0
+    ample_states: int = 0
     budget_exhausted: bool = False
     inherent_failure: bool = False
     inherent_failure_message: str = ""

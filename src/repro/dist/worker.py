@@ -75,6 +75,7 @@ class WorkerHoleRegistry(HoleRegistry):
             self._names[placeholder.name] = placeholder
 
     def position_of(self, hole: Hole, register: bool = True) -> Optional[int]:
+        """Resolve a hole to its canonical position, binding by name."""
         position = self._positions.get(hole)  # lock-free fast path
         if position is not None:
             return position
@@ -137,10 +138,18 @@ class BatchRunner:
         )
 
     def start_pass(self, msg: PassStart) -> None:
+        """Reset the pass-local core from the coordinator's snapshot."""
         if msg.explorer != self._config.explorer:
             raise SynthesisError(
                 f"coordinator runs the {msg.explorer!r} explorer but this "
                 f"worker was configured with {self._config.explorer!r}"
+            )
+        if msg.partial_order != self._config.partial_order_active:
+            raise SynthesisError(
+                f"coordinator model checks with partial_order="
+                f"{msg.partial_order} but this worker resolves it to "
+                f"{self._config.partial_order_active} — mixed reduction "
+                f"modes would desynchronise hole discovery order"
             )
         core = SynthesisCore(
             self.system,
@@ -157,6 +166,7 @@ class BatchRunner:
         self._first_new = msg.first_new
 
     def run_batch(self, task: BatchTask) -> BatchResult:
+        """Walk one candidate range and return the mergeable deltas."""
         core = self.core
         if core is None:
             raise SynthesisError("BatchTask received before PassStart")
@@ -177,6 +187,8 @@ class BatchRunner:
             if core.prefix_cache is not None
             else (0, 0, 0)
         )
+        por_skipped_seen = core.por_rules_skipped
+        ample_states_seen = core.ample_states
         if task.eval_budget is not None:
             core.config.max_evaluations = core.evaluated + task.eval_budget
         else:
@@ -223,6 +235,8 @@ class BatchRunner:
             prefix_cache_hits=prefix_now[0] - prefix_seen[0],
             prefix_cache_builds=prefix_now[1] - prefix_seen[1],
             prefix_states_reused=prefix_now[2] - prefix_seen[2],
+            por_rules_skipped=core.por_rules_skipped - por_skipped_seen,
+            ample_states=core.ample_states - ample_states_seen,
             budget_exhausted=budget_exhausted,
             inherent_failure=core.inherent_failure,
             inherent_failure_message=core.inherent_failure_message,

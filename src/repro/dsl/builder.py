@@ -26,7 +26,7 @@ with canonicalisation over all process permutations (opt-out available).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.dsl.network import Message, UnorderedNetwork
 from repro.dsl.process import ProcessArray

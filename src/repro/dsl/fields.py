@@ -21,7 +21,7 @@ repro.errors.ModelError: field 'owner': 7 not in [0, 3) (or None)
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, Tuple
+from typing import Any, Dict, FrozenSet, Tuple
 
 from repro.errors import ModelError
 from repro.mc.state import Record

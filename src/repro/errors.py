@@ -31,6 +31,12 @@ class CandidateError(SynthesisError):
     """A candidate vector operation was invalid (bad index, bad action)."""
 
 
+class CliError(ReproError):
+    """Invalid command-line usage the argparse layer cannot express
+    (cross-flag conflicts, out-of-range numeric flags); the CLI prints
+    the message and exits with status 2, like argparse errors."""
+
+
 class ExperimentError(ReproError):
     """An experiment-matrix spec or journal is malformed or inconsistent."""
 

@@ -92,6 +92,14 @@ def smoke_preset() -> MatrixSpec:
             "include": [
                 {"mode": "verify", "target": name, "timeout_seconds": 120}
                 for name in ("mutex", "vi", "msi", "mesi", "moesi", "german")
+            ]
+            + [
+                # partial-order reduction smoke: one verify and one synth
+                # cell per mode so the reduced kernel path runs in CI
+                {"mode": "verify", "target": "moesi", "por": True,
+                 "timeout_seconds": 120},
+                {"target": "german-small", "por": True,
+                 "timeout_seconds": 300},
             ],
         }
     )

@@ -18,11 +18,12 @@ expires; other cells run in-process.  A cell that raises records status
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
@@ -59,6 +60,7 @@ def _synthesis_config(cell: CellSpec) -> SynthesisConfig:
         pruning=cell.pruning,
         generalise_conflicts=cell.generalise,
         prefix_reuse=cell.prefix_reuse,
+        partial_order=cell.por,
         solution_limit=cell.solution_limit,
         max_evaluations=cell.max_evaluations,
         explorer=cell.explorer,
@@ -103,7 +105,9 @@ def _run_verify_cell(cell: CellSpec) -> Dict[str, Any]:
     )
     limits = ExplorationLimits(max_states=cell.max_states)
     start = time.perf_counter()
-    result = make_explorer(cell.explorer, system, limits=limits).run()
+    result = make_explorer(
+        cell.explorer, system, limits=limits, partial_order=cell.por
+    ).run()
     elapsed = time.perf_counter() - start
     return {
         "kind": "verify",
@@ -365,9 +369,20 @@ class MatrixRunner:
         out_dir,
         fresh: bool = False,
         log: Optional[Callable[[str], None]] = None,
+        force_por: Optional[bool] = None,
     ) -> None:
         self.spec = spec
         self.cells = expand_matrix(spec)
+        if force_por is not None:
+            # Applied *after* expansion so cell ids (the journal keys)
+            # stay exactly as the spec derives them — overriding the
+            # defaults instead would re-derive ids and collide with cells
+            # that set `por` explicitly.  The CLI documents that a mode
+            # override wants --fresh or a separate --out.
+            self.cells = [
+                dataclasses.replace(cell, por=force_por)
+                for cell in self.cells
+            ]
         self.out_dir = Path(out_dir)
         self.fresh = fresh
         self._log = log or (lambda message: None)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 import json
 from dataclasses import dataclass, field, fields as dataclass_fields
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ExperimentError
 from repro.mc.kernel import EXPLORER_STRATEGIES
@@ -62,6 +62,7 @@ class CellSpec:
     pruning: bool = True
     generalise: bool = True
     prefix_reuse: bool = True
+    por: bool = False
     evictions: bool = False
     symmetry: bool = True
     solution_limit: Optional[int] = None
@@ -85,6 +86,7 @@ _FLAG_TAGS = (
     ("pruning", False, "naive"),
     ("generalise", False, "nogen"),
     ("prefix_reuse", False, "noreuse"),
+    ("por", True, "por"),
     ("evictions", True, "evict"),
     ("symmetry", False, "nosym"),
 )
@@ -150,6 +152,13 @@ def make_cell(values: Dict[str, Any]) -> CellSpec:
             raise ExperimentError(
                 f"cell {cell.id!r}: unknown skeleton {cell.target!r}; "
                 f"available: {', '.join(sorted(SKELETON_CATALOG))}"
+            )
+    for flag in ("pruning", "generalise", "prefix_reuse", "por", "evictions",
+                 "symmetry"):
+        if not isinstance(getattr(cell, flag), bool):
+            raise ExperimentError(
+                f"cell {cell.id!r}: {flag} must be a bool, "
+                f"got {getattr(cell, flag)!r}"
             )
     if not isinstance(cell.estimate_samples, int) or cell.estimate_samples < 1:
         raise ExperimentError(

@@ -28,6 +28,7 @@ class NullResolver:
     """Resolver for hole-free systems: any hole resolution is a bug."""
 
     def resolve(self, hole: Any) -> Any:
+        """Reject any resolution: complete systems have no holes."""
         raise ModelError(
             f"hole {hole!r} resolved during a verification-only run; "
             "use FixedResolver or the synthesis engine for systems with holes"
@@ -48,6 +49,7 @@ class FixedResolver:
         self._strict = strict
 
     def resolve(self, hole: Any) -> Any:
+        """Resolve from the fixed assignment (see the class docs)."""
         if hole in self._assignment:
             return self._assignment[hole]
         name = getattr(hole, "name", None)
@@ -90,10 +92,12 @@ class ExecutionContext:
 
     @property
     def firing_executed_holes(self) -> FrozenSet[Any]:
+        """Holes resolved during the current rule firing."""
         return frozenset(self._firing_executed)
 
     @property
     def firing_hit_wildcard(self) -> bool:
+        """Whether the current firing hit a wildcard."""
         return self._firing_wildcard
 
     def resolve(self, hole: Any) -> Any:

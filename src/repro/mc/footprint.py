@@ -1,0 +1,1636 @@
+"""Footprint-based partial-order reduction (POR) analysis.
+
+Interleavings of *independent* rule firings are the last classic source of
+state-space blowup the exploration kernel had no answer to: after symmetry
+reduction (PR 2) and prefix reuse (PR 3), a candidate check still explores
+every shuffle of, say, cache 0's fetch protocol against cache 1's — even
+though the shuffles commute and none of them can change a verdict.  This
+module computes, per rule, a read/write **footprint** and the derived
+**independence**, **necessary-enabling**, and **visibility** relations;
+the kernel (:class:`~repro.mc.kernel.ExplorationKernel`) uses them to
+expand a persistent (ample/stubborn-style) subset of the enabled rules at
+reducible states instead of all of them.
+
+How footprints are computed
+---------------------------
+
+Rules are plain Python closures, so there is nothing to analyse statically.
+Instead the analysis **replays** every rule over a bounded *probe*
+exploration of the system itself:
+
+* **reads** come from firing the rule against an instrumented state wrapper
+  (:func:`wrap_state`) that mimics the state containers — tuples, records,
+  multisets, frozensets, process arrays, unordered networks — and records
+  which *locations* (access paths) the guard and body actually observe.
+  Structural navigation and copy-through (e.g. ``View`` unpacking a state
+  it will rebuild unchanged) record nothing; only observations that can
+  influence behaviour — comparisons, membership tests, sizes, iteration,
+  values flowing into a *different* location of the successor — count.
+* **writes** come from structurally diffing each plain firing's successor
+  against its source state (:func:`diff_states`), down to tuple positions,
+  record fields, multiset element counts, and set members.  Commuting
+  updates (multiset count deltas, idempotent set adds) are distinguished
+  from overwrites so that two sends to the same network never count as a
+  conflict merely because both grew the bag.
+* **visibility** is observed semantically: a rule is visible for a
+  property iff some probed firing changed that property's truth value —
+  including one-step firings at invariant-violating boundary states,
+  which the probe checks without expanding (a rule that only flips a
+  property back *at* the violation must still count, or a reduced search
+  could defer its way around the violating interleaving).
+* **guard atoms** and **write conditions** are learned as value tables:
+  the ordered single-location reads of each guard's short-circuit
+  evaluation with a value→truth table per position, and, for writes that
+  only happen sometimes, a predictor location whose value decides them.
+  Together they give each disabled rule a small, state-refined
+  *necessary enabling set* — the writers of a provably-false atom —
+  instead of the whole static may-enable cone.
+
+When the probe drains the frontier (``complete=True``) — which it does for
+every catalog protocol at its bench sizes, and for catalog skeletons it
+drains the *union over all hole actions* of every candidate's space —
+these relations are exact over the reachable states, and the reduction is
+sound by the standard ample-set argument (see ``docs/architecture.md``).
+When the probe is truncated the relations are conservative best-effort
+(never-fired rules are treated as touching everything) and the POR
+equivalence matrix (``tests/integration/test_por_equivalence.py``) is the
+regression gate.
+
+Hole-aware replay
+-----------------
+
+Skeleton rules resolve synthesis holes mid-body.  The probe resolves each
+hole against *every* action in its domain (odometer enumeration per
+firing, capped), so footprints are unioned over all completions — which
+makes ample-set decisions identical for every candidate of one skeleton.
+That alignment is what lets POR compose with the prefix-reuse cache: a
+prefix checkpoint's reduced exploration is exactly the reduced exploration
+every extending candidate would have produced.  Guards receive only the
+state — never the execution context — so a guard can't resolve a hole,
+which is what guarantees enabled sets (and therefore ample decisions) are
+candidate-independent in the first place.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.mc.context import ExecutionContext
+from repro.mc.multiset import Multiset
+from repro.mc.state import Record
+
+try:  # the DSL containers are optional structure the wrapper understands
+    from repro.dsl.network import Message, UnorderedNetwork
+    from repro.dsl.process import ProcessArray
+except ImportError:  # pragma: no cover - the DSL is part of this package
+    Message = UnorderedNetwork = ProcessArray = None
+
+#: default probe cap — on the *raw* (symmetry-unreduced) state graph, so
+#: that every observed relation is permutation-closed and therefore valid
+#: for whichever orbit representatives a reduced exploration happens to
+#: visit.  Large enough to drain every catalog system's raw space at its
+#: bench sizes while bounding analysis cost on larger models.
+DEFAULT_PROBE_LIMIT = 6144
+
+#: cap on hole-action combinations enumerated per (state, rule) firing
+DEFAULT_COMBO_LIMIT = 64
+
+#: cap on instrumented (read-tracking) firings per rule; reads converge
+#: after a handful of samples because rule bodies are table-driven
+TRACKED_FIRE_LIMIT = 24
+
+#: cap on instrumented guard evaluations per rule; beyond the first few
+#: states, guards are sampled on a deterministic stride across the whole
+#: probe so the atom truth tables see late-exploration values too
+TRACKED_GUARD_LIMIT = 512
+
+#: every rule tracks its guard at each of the first few probe states ...
+TRACKED_GUARD_WARMUP = 8
+
+#: ... and then at every STRIDE-th probe state (phase-shifted per rule)
+TRACKED_GUARD_STRIDE = 16
+
+# -- locations ---------------------------------------------------------------
+#
+# A location is a tuple of path segments.  Plain segments (ints for tuple
+# positions, strings for record fields) descend into structure; a terminal
+# marker segment (itself a tuple) refines container access:
+#
+#   ("elem", key)          one element of a multiset / frozenset / network
+#   ("eclass", mtype, dst) the class of network messages a deliverable()
+#                          scan observes (mtype None = any type)
+#   ("size",)              the element count
+#
+# An absent marker means the whole subtree.
+
+Location = Tuple[Any, ...]
+
+#: write kinds: "set" overwrites, "delta" commutes with "delta" (counter
+#: increments), "add"/"remove" commute with themselves (idempotent set ops)
+_COMMUTING = {("delta", "delta"), ("add", "add"), ("remove", "remove")}
+
+
+def ser(value: Any) -> Any:
+    """Serialise a container element into a hashable comparison key.
+
+    Message elements keep their structure (the ``eclass`` conflict check
+    needs the type and destination); everything else becomes a tagged
+    primitive tree, with ``repr`` as the fallback for exotic values.
+    """
+    if Message is not None and isinstance(value, Message):
+        return ("msg", value.mtype, value.src, value.dst, ser(value.payload))
+    if isinstance(value, tuple):
+        return ("tup",) + tuple(ser(item) for item in value)
+    if isinstance(value, Record):
+        return ("rec",) + tuple((name, ser(item)) for name, item in value)
+    if isinstance(value, frozenset):
+        return ("fs",) + tuple(sorted((repr(ser(item)), ser(item)) for item in value))
+    if isinstance(value, (int, str, bool)) or value is None:
+        return value
+    return ("repr", repr(value))
+
+
+def _markers_conflict(a: Tuple, b: Tuple) -> bool:
+    """Whether two terminal marker segments can touch the same data.
+
+    ``size`` and ``eclass`` markers only ever appear on the *read* side
+    (diffs record element-level writes; size changes are implied), so a
+    ``size`` marker meeting anything else is a size read observing an
+    element change — a conflict.
+    """
+    ka, kb = a[0], b[0]
+    if ka == "size" or kb == "size":
+        return True
+    if ka == "elem" and kb == "elem":
+        return a[1] == b[1]
+    if ka == "eclass" or kb == "eclass":
+        eclass, elem = (a, b) if ka == "eclass" else (b, a)
+        if elem[0] == "eclass":
+            return True
+        key = elem[1]
+        if isinstance(key, tuple) and key and key[0] == "msg":
+            mtype_ok = eclass[1] is None or eclass[1] == key[1]
+            return mtype_ok and eclass[2] == key[3]
+        return True  # non-message element vs a class scan: assume overlap
+    return True
+
+
+def locations_conflict(a: Location, b: Location) -> bool:
+    """Whether two access paths can denote overlapping state.
+
+    Paths that diverge at a plain segment address disjoint subtrees; a
+    path that is a prefix of another covers it; marker segments resolve
+    via :func:`_markers_conflict`.
+    """
+    for x, y in zip(a, b):
+        if x == y:
+            continue
+        x_marker = isinstance(x, tuple)
+        y_marker = isinstance(y, tuple)
+        if x_marker and y_marker:
+            return _markers_conflict(x, y)
+        if x_marker or y_marker:
+            return True  # marker vs deeper structure: assume overlap
+        return False
+    return True
+
+
+def writes_conflict(
+    writes_a: Dict[Location, str], writes_b: Dict[Location, str]
+) -> bool:
+    """Write/write conflict: overlapping locations with non-commuting kinds."""
+    for loc_a, kind_a in writes_a.items():
+        for loc_b, kind_b in writes_b.items():
+            if (kind_a, kind_b) in _COMMUTING:
+                continue
+            if locations_conflict(loc_a, loc_b):
+                return True
+    return False
+
+
+def read_write_conflict(
+    reads: Set[Location], writes: Dict[Location, str]
+) -> bool:
+    """Read/write conflict: any written location a read can observe."""
+    for loc_w in writes:
+        for loc_r in reads:
+            if locations_conflict(loc_r, loc_w):
+                return True
+    return False
+
+
+# -- the access log and tracked wrappers -------------------------------------
+
+
+class AccessLog:
+    """Collects the reads of one instrumented evaluation.
+
+    ``reads`` is the unordered union; ``seq`` keeps the observation order
+    together with the observed value — guard tracking uses it to learn a
+    guard's *atom* structure (see :class:`RuleFootprint`).
+    """
+
+    __slots__ = ("reads", "seq", "active")
+
+    def __init__(self) -> None:
+        self.reads: Set[Location] = set()
+        self.seq: List[Tuple[Location, Any]] = []
+        self.active = True
+
+    def read(self, location: Location, value: Any = None) -> None:
+        """Record one observed read (no-op when the log is detached)."""
+        if self.active:
+            self.reads.add(location)
+            self.seq.append((location, value))
+
+
+class _Tracked:
+    """Base for wrappers: shared raw value, path, and log plumbing."""
+
+    __slots__ = ("raw", "path", "log")
+
+    def __init__(self, raw: Any, path: Location, log: AccessLog) -> None:
+        self.raw = raw
+        self.path = path
+        self.log = log
+
+    def _observe(self) -> None:
+        self.log.read(self.path, self.raw)
+
+    def __eq__(self, other: object) -> bool:
+        self._observe()
+        return self.raw == unwrap(other)
+
+    def __ne__(self, other: object) -> bool:
+        self._observe()
+        return self.raw != unwrap(other)
+
+    def __hash__(self) -> int:
+        self._observe()
+        return hash(self.raw)
+
+    def __repr__(self) -> str:
+        self._observe()
+        return repr(self.raw)
+
+    def __bool__(self) -> bool:
+        self._observe()
+        return bool(self.raw)
+
+
+class TrackedLeaf(_Tracked):
+    """Wraps an int/str/bool leaf; any use of the value records a read."""
+
+    __slots__ = ()
+
+    def __lt__(self, other):
+        self._observe()
+        return self.raw < unwrap(other)
+
+    def __le__(self, other):
+        self._observe()
+        return self.raw <= unwrap(other)
+
+    def __gt__(self, other):
+        self._observe()
+        return self.raw > unwrap(other)
+
+    def __ge__(self, other):
+        self._observe()
+        return self.raw >= unwrap(other)
+
+    def __add__(self, other):
+        self._observe()
+        return self.raw + unwrap(other)
+
+    def __radd__(self, other):
+        self._observe()
+        return unwrap(other) + self.raw
+
+    def __sub__(self, other):
+        self._observe()
+        return self.raw - unwrap(other)
+
+    def __rsub__(self, other):
+        self._observe()
+        return unwrap(other) - self.raw
+
+    def __neg__(self):
+        self._observe()
+        return -self.raw
+
+    def __index__(self):
+        self._observe()
+        return self.raw.__index__()
+
+    def __int__(self):
+        self._observe()
+        return int(self.raw)
+
+
+class TrackedTuple(_Tracked):
+    """Wraps a tuple; indexing/iteration navigate without recording."""
+
+    __slots__ = ()
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            self._observe()
+            return self.raw[index]
+        index = unwrap(index)
+        return wrap_value(self.raw[index], self.path + (index,), self.log)
+
+    def __iter__(self):
+        for index, item in enumerate(self.raw):
+            yield wrap_value(item, self.path + (index,), self.log)
+
+    def __len__(self):
+        return len(self.raw)
+
+    def __contains__(self, item):
+        self._observe()
+        return unwrap(item) in self.raw
+
+
+class TrackedRecord(_Tracked):
+    """Wraps a :class:`~repro.mc.state.Record`; field access navigates."""
+
+    __slots__ = ()
+
+    def __getattr__(self, name):
+        if name in ("raw", "path", "log"):
+            raise AttributeError(name)
+        value = getattr(self.raw, name)
+        if callable(value):
+            self._observe()
+            return value
+        return wrap_value(value, self.path + (name,), self.log)
+
+    def update(self, **changes):
+        """Functional update: returns a plain Record (copy-through)."""
+        return self.raw.update(
+            **{name: unwrap_logging(value) for name, value in changes.items()}
+        )
+
+    def __iter__(self):
+        for name, value in self.raw:
+            yield name, wrap_value(value, self.path + (name,), self.log)
+
+
+class TrackedFrozenset(_Tracked):
+    """Wraps a frozenset; membership is element-granular."""
+
+    __slots__ = ()
+
+    def __contains__(self, item):
+        item = unwrap_logging(item)
+        present = item in self.raw
+        self.log.read(self.path + (("elem", ser(item)),), present)
+        return present
+
+    def __len__(self):
+        self.log.read(self.path + (("size",),), len(self.raw))
+        return len(self.raw)
+
+    def __bool__(self):
+        self.log.read(self.path + (("size",),), len(self.raw))
+        return bool(self.raw)
+
+    def __iter__(self):
+        self._observe()
+        return iter(self.raw)
+
+    def __or__(self, other):
+        # The result is derived data the handler may branch on or iterate
+        # (e.g. "invalidate sharers minus the requestor"), so set algebra
+        # observes the whole set.  This costs no independence in practice:
+        # only one controller's rules ever touch a given set this way.
+        self._observe()
+        return self.raw | unwrap_logging(other)
+
+    def __sub__(self, other):
+        self._observe()
+        return self.raw - unwrap_logging(other)
+
+    def __and__(self, other):
+        self._observe()
+        return self.raw & unwrap_logging(other)
+
+
+class TrackedMultiset(_Tracked):
+    """Wraps a :class:`~repro.mc.multiset.Multiset` at element granularity."""
+
+    __slots__ = ()
+
+    def __contains__(self, item):
+        item = unwrap_logging(item)
+        count = self.raw.count(item)
+        self.log.read(self.path + (("elem", ser(item)),), count)
+        return count > 0
+
+    def count(self, item):
+        """Count one element; observes that element's count."""
+        item = unwrap_logging(item)
+        count = self.raw.count(item)
+        self.log.read(self.path + (("elem", ser(item)),), count)
+        return count
+
+    def __len__(self):
+        self.log.read(self.path + (("size",),), len(self.raw))
+        return len(self.raw)
+
+    def __bool__(self):
+        self.log.read(self.path + (("size",),), len(self.raw))
+        return bool(self.raw)
+
+    def __iter__(self):
+        self._observe()
+        return iter(self.raw)
+
+    def distinct(self):
+        """Iterate distinct elements; scanning observes the whole bag."""
+        self._observe()
+        return self.raw.distinct()
+
+    def items(self):
+        """Iterate (element, count) pairs; observes the whole bag."""
+        self._observe()
+        return self.raw.items()
+
+    def add(self, item, count: int = 1):
+        """Return a plain grown multiset; the growth is a write, not a read."""
+        return self.raw.add(unwrap_logging(item), unwrap(count))
+
+    def remove(self, item, count: int = 1):
+        """Return a plain shrunk multiset; removal observes presence."""
+        item = unwrap_logging(item)
+        self.log.read(self.path + (("elem", ser(item)),), self.raw.count(item))
+        return self.raw.remove(item, unwrap(count))
+
+    def map(self, fn):
+        """Map over elements; observes the whole bag."""
+        self._observe()
+        return self.raw.map(fn)
+
+    def filter(self, predicate):
+        """Filter elements; observes the whole bag."""
+        self._observe()
+        return self.raw.filter(predicate)
+
+
+class TrackedProcessArray(_Tracked):
+    """Wraps a DSL :class:`~repro.dsl.process.ProcessArray`."""
+
+    __slots__ = ()
+
+    def __getitem__(self, index):
+        index = unwrap(index)
+        return wrap_value(self.raw[index], self.path + (index,), self.log)
+
+    def __iter__(self):
+        for index in range(len(self.raw)):
+            yield wrap_value(self.raw[index], self.path + (index,), self.log)
+
+    def __len__(self):
+        return len(self.raw)
+
+    def count(self, value):
+        """Count matching local states; observes the whole array."""
+        self._observe()
+        return self.raw.count(unwrap_logging(value))
+
+
+class TrackedNetwork(_Tracked):
+    """Wraps a DSL :class:`~repro.dsl.network.UnorderedNetwork`.
+
+    ``deliverable`` scans record a message-*class* read — precise enough
+    that a send to one destination does not conflict with every receive
+    rule in the system.
+    """
+
+    __slots__ = ()
+
+    def deliverable(self, dst, mtype=None):
+        """Scan deliverable messages; records a message-class read."""
+        dst = unwrap_logging(dst)
+        mtype = unwrap_logging(mtype)
+        matching = tuple(self.raw.deliverable(dst, mtype))
+        self.log.read(
+            self.path + (("eclass", mtype, dst),),
+            tuple(ser(message) for message in matching),
+        )
+        return iter(matching)
+
+    def __contains__(self, message):
+        message = unwrap_logging(message)
+        present = message in self.raw
+        self.log.read(self.path + (("elem", ser(message)),), present)
+        return present
+
+    def __len__(self):
+        self.log.read(self.path + (("size",),), len(self.raw))
+        return len(self.raw)
+
+    def __bool__(self):
+        self.log.read(self.path + (("size",),), len(self.raw))
+        return bool(self.raw)
+
+    def __iter__(self):
+        self._observe()
+        return iter(self.raw)
+
+    def send(self, message):
+        """Return a plain grown network (a write; embedded reads logged)."""
+        return self.raw.send(unwrap_logging(message))
+
+    def deliver(self, message):
+        """Return a plain shrunk network; delivery observes presence."""
+        message = unwrap_logging(message)
+        self.log.read(self.path + (("elem", ser(message)),), message in self.raw)
+        return self.raw.deliver(message)
+
+    def renamed(self, mapping):
+        """Rename process ids; observes the whole network."""
+        self._observe()
+        return self.raw.renamed(mapping)
+
+
+def wrap_value(value: Any, path: Location, log: AccessLog) -> Any:
+    """Wrap one state component in the matching tracked proxy.
+
+    ``None`` passes through unwrapped so that identity tests
+    (``x is None``) keep their meaning; unknown container types are
+    returned raw after recording a whole-subtree read (conservative).
+    """
+    if value is None:
+        return None
+    if isinstance(value, Record):
+        return TrackedRecord(value, path, log)
+    if isinstance(value, Multiset):
+        return TrackedMultiset(value, path, log)
+    if isinstance(value, tuple):
+        return TrackedTuple(value, path, log)
+    if isinstance(value, frozenset):
+        return TrackedFrozenset(value, path, log)
+    if ProcessArray is not None and isinstance(value, ProcessArray):
+        return TrackedProcessArray(value, path, log)
+    if UnorderedNetwork is not None and isinstance(value, UnorderedNetwork):
+        return TrackedNetwork(value, path, log)
+    if isinstance(value, (int, str)):  # bool is an int subclass
+        return TrackedLeaf(value, path, log)
+    log.read(path)
+    return value
+
+
+def wrap_state(state: Any, log: AccessLog) -> Any:
+    """Wrap a root state (conventionally a tuple) for instrumented replay."""
+    return wrap_value(state, (), log)
+
+
+def unwrap(value: Any) -> Any:
+    """Strip a tracked wrapper without recording a read."""
+    return value.raw if isinstance(value, _Tracked) else value
+
+
+def unwrap_logging(value: Any) -> Any:
+    """Strip wrappers, recording reads for embedded tracked leaves.
+
+    Used at API boundaries where a state-derived value flows into rule
+    output (a message destination, a set member): that flow is a genuine
+    read even though the value was never compared.
+    """
+    if isinstance(value, _Tracked):
+        value._observe()
+        return value.raw
+    if isinstance(value, tuple):
+        return tuple(unwrap_logging(item) for item in value)
+    if Message is not None and isinstance(value, Message):
+        return Message(
+            unwrap_logging(value.mtype),
+            unwrap_logging(value.src),
+            unwrap_logging(value.dst),
+            unwrap_logging(value.payload),
+        )
+    return value
+
+
+def find_flows(value: Any, path: Location, reads: Set[Location]) -> None:
+    """Record reads for tracked leaves embedded in a firing's successor.
+
+    A leaf that ends up at a *different* location than it came from is a
+    data flow (``owner := req``); a leaf copied back to its own location
+    is a no-op copy-through and records nothing.
+    """
+    if isinstance(value, _Tracked):
+        if value.path != path:
+            reads.add(value.path)
+        return
+    if isinstance(value, tuple):
+        for index, item in enumerate(value):
+            find_flows(item, path + (index,), reads)
+        return
+    if isinstance(value, Record):
+        for name, item in value:
+            find_flows(item, path + (name,), reads)
+
+
+# -- structural diff (write footprints) --------------------------------------
+
+
+def diff_states(before: Any, after: Any) -> Dict[Location, str]:
+    """Structurally diff two plain states into a write footprint."""
+    writes: Dict[Location, str] = {}
+    _diff(before, after, (), writes)
+    return writes
+
+
+def _merge_write(writes: Dict[Location, str], loc: Location, kind: str) -> None:
+    existing = writes.get(loc)
+    if existing is not None and existing != kind:
+        kind = "set"  # mixed kinds at one location: strongest wins
+    writes[loc] = kind
+
+
+def _diff(before: Any, after: Any, path: Location,
+          writes: Dict[Location, str]) -> None:
+    if before is after or before == after:
+        return
+    if isinstance(before, Record) and isinstance(after, Record):
+        fields_a, fields_b = dict(before), dict(after)
+        for name in set(fields_a) | set(fields_b):
+            _diff(fields_a.get(name), fields_b.get(name), path + (name,), writes)
+        return
+    if isinstance(before, Multiset) and isinstance(after, Multiset):
+        # Size changes are implied by element-count changes and are NOT
+        # recorded as writes: a size *read* already conflicts with any
+        # element write (see _markers_conflict), and two element deltas
+        # commute including their size effects.
+        counts_a, counts_b = dict(before.items()), dict(after.items())
+        for key in set(counts_a) | set(counts_b):
+            if counts_a.get(key, 0) != counts_b.get(key, 0):
+                _merge_write(writes, path + (("elem", ser(key)),), "delta")
+        return
+    if (
+        UnorderedNetwork is not None
+        and isinstance(before, UnorderedNetwork)
+        and isinstance(after, UnorderedNetwork)
+    ):
+        # Compare the underlying bags directly: rebuilding Multisets from
+        # message iterables re-sorts by repr on every diff, which was the
+        # single hottest line of skeleton probes.
+        _diff(before._bag, after._bag, path, writes)
+        return
+    if isinstance(before, frozenset) and isinstance(after, frozenset):
+        for member in before - after:
+            _merge_write(writes, path + (("elem", ser(member)),), "remove")
+        for member in after - before:
+            _merge_write(writes, path + (("elem", ser(member)),), "add")
+        return
+    if isinstance(before, tuple) and isinstance(after, tuple):
+        if len(before) != len(after):
+            _merge_write(writes, path, "set")
+            return
+        for index, (item_a, item_b) in enumerate(zip(before, after)):
+            _diff(item_a, item_b, path + (index,), writes)
+        return
+    if (
+        ProcessArray is not None
+        and isinstance(before, ProcessArray)
+        and isinstance(after, ProcessArray)
+    ):
+        _diff(tuple(before), tuple(after), path, writes)
+        return
+    _merge_write(writes, path, "set")
+
+
+# -- the analysis ------------------------------------------------------------
+
+
+@dataclass
+class RuleFootprint:
+    """Everything the probe learned about one rule."""
+
+    #: locations the guard observed (union over probed evaluations)
+    guard_reads: Set[Location] = field(default_factory=set)
+    #: locations the body observed while firing (union over probed firings)
+    reads: Set[Location] = field(default_factory=set)
+    #: location -> write kind, from successor diffs (union over firings)
+    writes: Dict[Location, str] = field(default_factory=dict)
+    #: names of holes this rule resolves (union over firings)
+    holes: Set[str] = field(default_factory=set)
+    #: number of successfully probed firings
+    fired: int = 0
+    #: the probe ever saw this rule's guard true (a complete probe with
+    #: ``ever_enabled`` False proves the rule dead on the reachable space)
+    ever_enabled: bool = False
+    #: number of instrumented guard evaluations performed
+    guard_tracked: int = 0
+    #: the guard's atom structure: the ordered locations its short-circuit
+    #: evaluation reads (longest observed sequence); position ``i`` holds
+    #: the location of conjunct ``i``
+    atoms: List[Location] = field(default_factory=list)
+    #: per atom position, observed value -> whether evaluation continued
+    #: past it (True) or stopped returning False (False); a value observed
+    #: with both outcomes marks the position indeterminate (dropped)
+    atom_truth: List[Dict[Any, Optional[bool]]] = field(default_factory=list)
+    #: the guard's read order varied across states; atom analysis is off
+    atoms_unstable: bool = False
+    #: (firing state, written locations) per probed firing — the raw
+    #: material write-condition learning digests after the probe
+    history: List[Tuple[Any, frozenset]] = field(default_factory=list)
+    #: written location -> (predictor location, value -> wrote) for writes
+    #: that only happen under a state condition (e.g. an invalidation is
+    #: sent to cache i only while i is a sharer); absent = unconditional
+    write_conditions: Dict[Location, Tuple[Location, Dict[Any, bool]]] = field(
+        default_factory=dict
+    )
+    #: an instrumented replay failed; treat the rule as touching everything
+    unknown: bool = False
+    #: bitmask over property indices (invariants then coverage, in system
+    #: order) whose truth value some probed firing changed
+    visible_props: int = 0
+
+    @property
+    def all_reads(self) -> Set[Location]:
+        """Guard and body reads together (the independence read set)."""
+        return self.guard_reads | self.reads
+
+
+def value_at(state: Any, location: Location) -> Any:
+    """The observable value a tracked read of ``location`` would record.
+
+    Mirrors the wrapper classes' value conventions: leaf locations yield
+    the raw value, ``elem`` markers yield the element count (multisets,
+    networks) or presence (frozensets), ``size`` yields the length, and
+    ``eclass`` yields the serialised tuple of matching messages.  Raises
+    on structural mismatch; callers treat that as "undeterminable".
+    """
+    current = state
+    for segment in location:
+        if isinstance(segment, tuple):
+            kind = segment[0]
+            if UnorderedNetwork is not None and isinstance(
+                current, UnorderedNetwork
+            ):
+                if kind == "eclass":
+                    return tuple(
+                        ser(m) for m in current.deliverable(segment[2], segment[1])
+                    )
+                bag = current._bag
+            elif isinstance(current, Multiset):
+                bag = current
+            elif isinstance(current, frozenset):
+                if kind == "elem":
+                    return any(ser(member) == segment[1] for member in current)
+                if kind == "size":
+                    return len(current)
+                raise KeyError(segment)
+            else:
+                raise KeyError(segment)
+            if kind == "size":
+                return len(bag)
+            if kind == "elem":
+                return sum(
+                    count for item, count in bag.items()
+                    if ser(item) == segment[1]
+                )
+            raise KeyError(segment)
+        if isinstance(segment, str):
+            current = getattr(current, segment)
+        else:
+            current = current[segment]
+    return current
+
+
+class _ProbeResolver:
+    """Replays a firing under a scripted hole-action assignment."""
+
+    def __init__(self, footprint: RuleFootprint) -> None:
+        self.footprint = footprint
+        self.script: List[int] = []
+        self.arities: List[int] = []
+        self.cursor = 0
+        self.holes_seen: List[Any] = []
+
+    def restart(self) -> None:
+        """Rewind for the next firing of the same combination."""
+        self.cursor = 0
+        self.holes_seen = []
+
+    def advance(self) -> bool:
+        """Odometer-step the script; False when all combinations are done."""
+        for position in range(len(self.script) - 1, -1, -1):
+            self.script[position] += 1
+            if self.script[position] < self.arities[position]:
+                del self.script[position + 1:]
+                del self.arities[position + 1:]
+                return True
+            self.script[position] = 0
+        return False
+
+    def resolve(self, hole: Any) -> Any:
+        """Return the scripted action for the next hole in this firing."""
+        self.footprint.holes.add(hole.name)
+        position = self.cursor
+        self.cursor += 1
+        self.holes_seen.append(hole)
+        if position >= len(self.script):
+            self.script.append(0)
+            self.arities.append(hole.arity)
+        return hole.domain[self.script[position]]
+
+
+class FootprintAnalysis:
+    """Per-system POR relations, plus the ample-set selector.
+
+    Built once per :class:`~repro.mc.system.TransitionSystem` (see
+    :func:`get_footprint_analysis`) and shared by every kernel run of that
+    system, including all candidate evaluations of one synthesis run.
+
+    Attributes:
+        footprints: one :class:`RuleFootprint` per rule, in rule order.
+        dependent: per rule, a bitmask of statically dependent rules
+            (footprint conflict; symmetric; includes self).
+        guard_writers: per rule ``q``, the fallback necessary-enabling
+            set: rules whose writes conflict with ``q``'s guard reads.
+        always_visible_mask: rules that may change an *invariant* truth
+            value (or whose replay failed) — never reducible.  Rules that
+            can only change a coverage predicate are visible exactly while
+            that predicate is still pending: once a witness state is
+            visited the predicate is satisfied forever (coverage is
+            existential and monotone), so its visibility constraint drops
+            away — see :meth:`visible_mask_for`.
+        complete: the probe drained its frontier without hitting the state
+            cap, the combination cap, or a replay failure — the observed
+            relations are exact over the reachable space.
+        usable: POR may be applied at all (no guard resolved a hole).
+        probe_states: states the probe visited.
+    """
+
+    def __init__(self, system: Any, probe_limit: int, combo_limit: int) -> None:
+        self.system = system
+        self.rule_count = len(system.rules)
+        self.footprints: List[RuleFootprint] = [
+            RuleFootprint() for _ in system.rules
+        ]
+        self.dependent: List[int] = [0] * self.rule_count
+        self.guard_writers: List[int] = [0] * self.rule_count
+        self.invariant_count = len(system.invariants)
+        #: coverage property name -> property index (after the invariants)
+        self.coverage_index: Dict[str, int] = {
+            prop.name: self.invariant_count + offset
+            for offset, prop in enumerate(system.coverage)
+        }
+        self.always_visible_mask = 0
+        self.complete = False
+        self.usable = True
+        self.probe_states = 0
+        self._writer_cache: Dict[Location, int] = {}
+        self._visible_cache: Dict[Any, int] = {}
+        self._evidence_cache: Dict[Tuple[int, int], Any] = {}
+        self._seed_order: List[int] = []
+        #: enabled-rule masks whose ample search already failed once.
+        #: Falling back to full expansion is always sound, so rejections
+        #: are memoised by mask alone even though a different state with
+        #: the same mask might have admitted a reduction — the memo is
+        #: what keeps the per-state selector off the hot path on systems
+        #: (or synthesis phases) where reduction rarely applies.
+        self._ample_reject: Set[int] = set()
+        self._probe(probe_limit, combo_limit)
+        if self.usable:
+            self._derive_relations()
+            self._seed_order = list(range(self.rule_count))
+
+    # -- probing ------------------------------------------------------------
+
+    def _properties(self) -> List[Any]:
+        checks = [inv.holds for inv in self.system.invariants]
+        checks.extend(prop.satisfied_by for prop in self.system.coverage)
+        return checks
+
+    def _probe(self, probe_limit: int, combo_limit: int) -> None:
+        """Bounded full-expansion exploration driving all replay sampling.
+
+        The probe deliberately ignores the system's symmetry reduction and
+        walks the *raw* state graph: observed relations (visibility,
+        enabling edges) are then permutation-closed by construction, which
+        a reduced exploration needs because the orbit representatives it
+        visits depend on discovery order.
+        """
+        system = self.system
+        rules = system.rules
+        checks = self._properties()
+
+        enabled_cache: Dict[Any, int] = {}
+        profile_cache: Dict[Any, Tuple[bool, ...]] = {}
+
+        def enabled_mask_of(state: Any) -> int:
+            mask = enabled_cache.get(state)
+            if mask is None:
+                mask = 0
+                for index, rule in enumerate(rules):
+                    try:
+                        if rule.guard(state):
+                            mask |= 1 << index
+                    except Exception:
+                        self.footprints[index].unknown = True
+                enabled_cache[state] = mask
+            return mask
+
+        def profile_of(state: Any) -> Tuple[bool, ...]:
+            profile = profile_cache.get(state)
+            if profile is None:
+                profile = tuple(bool(check(state)) for check in checks)
+                profile_cache[state] = profile
+            return profile
+
+        try:
+            initial = list(system.initial_states())
+        except Exception:
+            self.usable = False
+            return
+
+        visited: Set[Any] = set()
+        frontier: deque = deque()
+        for state in initial:
+            if state not in visited:
+                visited.add(state)
+                frontier.append(state)
+
+        all_true = tuple([True] * self.invariant_count)
+        truncated = False
+        popped = 0
+        while frontier:
+            if len(visited) >= probe_limit:
+                truncated = True
+                break
+            state = frontier.popleft()
+            profile = profile_of(state)
+            expand = profile[: self.invariant_count] == all_true
+            # Invariant-violating states are terminal in *every*
+            # candidate's exploration (the kernel returns FAILURE on
+            # generating them), so the probe never expands them — that is
+            # what keeps the union space of a skeleton finite (faulty
+            # completions' message sprays die at the network bound).  But
+            # their rules ARE fired one step, without enqueuing the
+            # successors: a rule that flips a property value only at the
+            # violation boundary (e.g. one that retires the second writer
+            # SWMR just complained about) must still count as visible, or
+            # a reduced exploration could defer its way around the
+            # violating interleaving.
+            popped += 1
+            mask = enabled_mask_of(state)
+            for index, rule in enumerate(rules):
+                fp = self.footprints[index]
+                if (
+                    not fp.unknown
+                    and fp.guard_tracked < TRACKED_GUARD_LIMIT
+                    and (
+                        popped <= TRACKED_GUARD_WARMUP
+                        or (popped + index) % TRACKED_GUARD_STRIDE == 0
+                        or self._guard_informative(fp, state)
+                    )
+                ):
+                    self._track_guard(rule, fp, state)
+                if not (mask >> index) & 1:
+                    continue
+                fp.ever_enabled = True
+                truncated |= not self._probe_firings(
+                    rule, fp, state, profile,
+                    combo_limit, visited, frontier, profile_of, expand,
+                )
+        self.probe_states = len(visited)
+        self.complete = not truncated and not any(
+            fp.unknown for fp in self.footprints
+        )
+        self._derive_write_conditions()
+
+    def _derive_write_conditions(self) -> None:
+        """Learn, per (rule, written location), when the write happens.
+
+        A location missing from some firings' write sets is *conditional*.
+        The learner searches the rule's read locations (and their element
+        refinements) for a predictor whose observed value functionally
+        determines whether the location is written, and keeps the
+        consistent predictor with the fewest writers of its own — the
+        cost :meth:`necessary_enablers` pays when it excludes the rule.
+        No consistent predictor means the write stays unconditional
+        (conservative).
+        """
+        for fp in self.footprints:
+            if fp.unknown or len(fp.history) < 2:
+                fp.history = []
+                continue
+            union_locs = set().union(*(locs for _s, locs in fp.history))
+            conditional = [
+                loc for loc in union_locs
+                if any(loc not in locs for _s, locs in fp.history)
+            ]
+            if not conditional:
+                fp.history = []
+                continue
+            candidates = self._predictor_candidates(fp)
+            for loc in conditional:
+                best = None
+                best_writers = 0
+                for candidate in candidates:
+                    table: Dict[Any, bool] = {}
+                    consistent = True
+                    for state, locs in fp.history:
+                        try:
+                            value = value_at(state, candidate)
+                            wrote = loc in locs
+                            if table.setdefault(value, wrote) != wrote:
+                                consistent = False
+                                break
+                        except Exception:
+                            consistent = False
+                            break
+                    if not consistent:
+                        continue
+                    writer_count = bin(self._writers_of(candidate)).count("1")
+                    if best is None or writer_count < best_writers:
+                        best, best_writers = (candidate, table), writer_count
+                if best is not None:
+                    fp.write_conditions[loc] = best
+            fp.history = []
+
+    def _predictor_candidates(self, fp: RuleFootprint) -> List[Location]:
+        """Predictor locations to try: the rule's reads, plus element
+        refinements of whole-container reads (a sharer-set iteration reads
+        the whole set, but the useful predictor is one membership bit)."""
+        candidates = list(fp.guard_reads | fp.reads)
+        sample_state = fp.history[0][0]
+        for location in list(candidates):
+            if location and isinstance(location[-1], tuple):
+                continue  # already element-granular
+            try:
+                value = value_at(sample_state, location)
+            except Exception:
+                continue
+            if isinstance(value, (frozenset, Multiset)):
+                elements = set()
+                for state, _locs in fp.history:
+                    try:
+                        container = value_at(state, location)
+                    except Exception:
+                        continue
+                    for member in container:
+                        elements.add(ser(member))
+                        if len(elements) >= 8:
+                            break
+                    if len(elements) >= 8:
+                        break
+                candidates.extend(
+                    location + (("elem", element),) for element in elements
+                )
+        return candidates
+
+    @staticmethod
+    def _guard_informative(fp: RuleFootprint, state: Any) -> bool:
+        """Whether tracking this guard here can teach the atom tables
+        anything new: its evaluation would get past the first atom while
+        some later atom's value is unseen (or known only as True).
+
+        The atom truth tables drive per-state necessary-enabling-set
+        choices, and their useful entries are exactly the *false* ones —
+        warmup/stride sampling alone tends to miss the deeper atoms of
+        rules whose first conjunct is rarely true.
+        """
+        if not fp.atoms or fp.atoms_unstable:
+            return False
+        for position, location in enumerate(fp.atoms):
+            table = fp.atom_truth[position]
+            try:
+                value = value_at(state, location)
+                if value not in table:
+                    return True  # an unseen value would gain a table entry
+                truth = table[value]
+            except Exception:
+                return False
+            if truth is False:
+                return False  # evaluation stops here; nothing new deeper
+        return False
+
+    def _track_guard(self, rule: Any, fp: RuleFootprint, state: Any) -> None:
+        """One instrumented guard evaluation, validated against the plain one.
+
+        Guards receive only the state (never the execution context), so a
+        guard can never resolve a synthesis hole — which is what keeps
+        enabled sets, and therefore ample decisions, identical across all
+        candidates of one skeleton.  A wrapper-fidelity mismatch (the
+        tracked evaluation disagreeing with the plain one) marks the rule
+        unknown, which excludes it — conservatively — from all reduction.
+        """
+        fp.guard_tracked += 1
+        log = AccessLog()
+        tracked = wrap_state(state, log)
+        try:
+            tracked_result = bool(rule.guard(tracked))
+            plain_result = bool(rule.guard(state))
+        except Exception:
+            fp.unknown = True
+            return
+        if tracked_result != plain_result:
+            fp.unknown = True
+            return
+        fp.guard_reads |= log.reads
+        self._learn_atoms(fp, log.seq, tracked_result)
+
+    @staticmethod
+    def _learn_atoms(fp: RuleFootprint, seq, result: bool) -> None:
+        """Fold one guard evaluation's read sequence into the atom tables.
+
+        A short-circuit conjunction reads its atoms in a fixed order, one
+        location per atom in this codebase; the observed sequence is then
+        always a prefix of the full atom list.  Every read before the last
+        of a False evaluation witnessed its atom *true* for the observed
+        value; the final read witnessed its atom *false*.  A value seen
+        with both outcomes at one position — a multi-location atom, or a
+        guard whose read order shifts — poisons that position (``None``),
+        and a sequence that contradicts the learned location order marks
+        the whole rule's atoms unstable.
+        """
+        if fp.atoms_unstable:
+            return
+        for position, (location, value) in enumerate(seq):
+            if position == len(fp.atoms):
+                fp.atoms.append(location)
+                fp.atom_truth.append({})
+            elif fp.atoms[position] != location:
+                fp.atoms_unstable = True
+                return
+            truth = result or position < len(seq) - 1
+            table = fp.atom_truth[position]
+            try:
+                known = table.get(value, truth)
+            except TypeError:  # unhashable observed value
+                fp.atoms_unstable = True
+                return
+            table[value] = truth if known == truth else None
+
+    def _probe_firings(
+        self, rule, fp, state, profile,
+        combo_limit, visited, frontier, profile_of, expand=True,
+    ) -> bool:
+        """Fire one enabled rule at one state over all hole combinations.
+
+        Returns False when the combination cap was hit (probe incomplete).
+        """
+        resolver = _ProbeResolver(fp)
+        combos = 0
+        while True:
+            combos += 1
+            if combos > combo_limit:
+                return False
+            resolver.restart()
+            ctx = ExecutionContext(resolver)
+            try:
+                successors = rule.fire(state, ctx)
+            except Exception:
+                fp.unknown = True
+                return False
+            if fp.fired < TRACKED_FIRE_LIMIT:
+                self._track_firing(rule, fp, state, resolver.script)
+            fp.fired += 1
+            fired_locs = set()
+            for successor in successors:
+                for loc, kind in diff_states(state, successor).items():
+                    _merge_write(fp.writes, loc, kind)
+                    fired_locs.add(loc)
+                succ_profile = profile_of(successor)
+                if succ_profile != profile:
+                    for prop, (was, now) in enumerate(zip(profile, succ_profile)):
+                        if was != now:
+                            fp.visible_props |= 1 << prop
+                if expand and successor not in visited:
+                    visited.add(successor)
+                    frontier.append(successor)
+            fp.history.append((state, frozenset(fired_locs)))
+            if not resolver.advance():
+                return True
+
+    def _track_firing(self, rule, fp, state, script) -> None:
+        """One instrumented firing: body reads plus successor data flows."""
+        log = AccessLog()
+        replay = _ProbeResolver(RuleFootprint())
+        replay.script = list(script)
+        replay.arities = [1] * len(script)  # advance() is never called here
+        ctx = ExecutionContext(replay)
+        tracked = wrap_state(state, log)
+        try:
+            successors = rule.fire(tracked, ctx)
+        except Exception:
+            fp.unknown = True
+            return
+        log.active = False
+        flows: Set[Location] = set()
+        for successor in successors:
+            find_flows(successor, (), flows)
+        fp.reads |= log.reads | flows
+
+    # -- derived relations --------------------------------------------------
+
+    def _derive_relations(self) -> None:
+        """Turn per-rule footprints into bitmask adjacency relations."""
+        count = self.rule_count
+        fps = self.footprints
+        all_mask = (1 << count) - 1
+        all_props = (1 << (self.invariant_count + len(self.coverage_index))) - 1
+        invariant_props = (1 << self.invariant_count) - 1
+        for i in range(count):
+            if fps[i].unknown or fps[i].fired == 0:
+                fps[i].visible_props = all_props
+            if fps[i].visible_props & invariant_props:
+                self.always_visible_mask |= 1 << i
+        for i in range(count):
+            if fps[i].unknown:
+                self.dependent[i] = all_mask
+                self.guard_writers[i] = all_mask
+                for j in range(count):
+                    self.dependent[j] |= 1 << i
+                continue
+            self.dependent[i] |= 1 << i
+            for j in range(i + 1, count):
+                if fps[j].unknown:
+                    continue
+                if self._conflict(fps[i], fps[j]):
+                    self.dependent[i] |= 1 << j
+                    self.dependent[j] |= 1 << i
+        for q in range(count):
+            if fps[q].unknown:
+                continue
+            writers = 0
+            for r in range(count):
+                if fps[r].unknown:
+                    writers |= 1 << r
+                elif read_write_conflict(fps[q].guard_reads, fps[r].writes):
+                    writers |= 1 << r
+            self.guard_writers[q] = writers
+
+    @staticmethod
+    def _conflict(a: RuleFootprint, b: RuleFootprint) -> bool:
+        return (
+            writes_conflict(a.writes, b.writes)
+            or read_write_conflict(a.all_reads, b.writes)
+            or read_write_conflict(b.all_reads, a.writes)
+        )
+
+    def _conflict_evidence(
+        self, i: int, j: int
+    ) -> Optional[List[Tuple[int, Location]]]:
+        """Why rules ``i`` and ``j`` are dependent, as refutable witnesses.
+
+        Each witness is ``(writer rule, written location)`` for one
+        conflicting access pair; the pair is inactive at a state where the
+        write's learned condition is provably false.  ``None`` means some
+        conflict has no conditional write to refute (the dependence is
+        unconditional).
+        """
+        key = (i, j) if i <= j else (j, i)
+        cached = self._evidence_cache.get(key, False)
+        if cached is not False:
+            return cached
+        evidence: Optional[List[Tuple[int, Location]]] = []
+        fa, fb = self.footprints[key[0]], self.footprints[key[1]]
+
+        def witness(pairs) -> None:
+            nonlocal evidence
+            for owner, write_loc, conditional in pairs:
+                if evidence is None:
+                    return
+                if conditional:
+                    evidence.append((owner, write_loc))
+                else:
+                    evidence = None
+
+        for loc_a, kind_a in fa.writes.items():
+            for loc_b, kind_b in fb.writes.items():
+                if (kind_a, kind_b) in _COMMUTING:
+                    continue
+                if not locations_conflict(loc_a, loc_b):
+                    continue
+                if loc_a in fa.write_conditions:
+                    witness([(key[0], loc_a, True)])
+                elif loc_b in fb.write_conditions:
+                    witness([(key[1], loc_b, True)])
+                else:
+                    witness([(key[0], loc_a, False)])
+        for reads, writer_idx, writer in (
+            (fa.all_reads, key[1], fb),
+            (fb.all_reads, key[0], fa),
+        ):
+            for write_loc in writer.writes:
+                for read_loc in reads:
+                    if locations_conflict(read_loc, write_loc):
+                        witness([
+                            (writer_idx, write_loc,
+                             write_loc in writer.write_conditions)
+                        ])
+                        break
+        self._evidence_cache[key] = evidence
+        return evidence
+
+    def refined_dependents(
+        self, rule_index: int, state: Any, closure: int, enabled_mask: int,
+        prefer_alternative: bool = False,
+    ) -> int:
+        """State-refined dependents of an enabled closure member.
+
+        A statically dependent rule whose every conflict witness is a
+        conditional write provably inactive at ``state`` may be replaced
+        by the writers of the witnesses' predictor locations (those must
+        change before the conflict can materialise) — when that is
+        cheaper for the closure than keeping the dependent rule.
+        """
+        base = self.dependent[rule_index]
+        if self.footprints[rule_index].unknown:
+            return base
+        result = 0
+        remaining = base
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            other = low.bit_length() - 1
+            if other == rule_index or self.footprints[other].unknown:
+                result |= low
+                continue
+            evidence = self._conflict_evidence(rule_index, other)
+            if evidence is None or not evidence:
+                result |= low
+                continue
+            alternative = 0
+            refuted = True
+            for owner, write_loc in evidence:
+                condition = self.footprints[owner].write_conditions.get(write_loc)
+                if condition is None:
+                    refuted = False
+                    break
+                predictor, table = condition
+                try:
+                    wrote = table.get(value_at(state, predictor), True)
+                except Exception:
+                    refuted = False
+                    break
+                if wrote is not False:
+                    refuted = False
+                    break
+                alternative |= self._writers_of(predictor)
+            if not refuted:
+                result |= low
+                continue
+            new_self = low & ~closure
+            new_alt = alternative & ~closure
+            cost_self = 1000 * bin(new_self & enabled_mask).count("1") + bin(
+                new_self
+            ).count("1")
+            cost_alt = 1000 * bin(new_alt & enabled_mask).count("1") + bin(
+                new_alt
+            ).count("1")
+            result |= alternative if cost_alt < cost_self else low
+        return result
+
+    # -- ample selection ----------------------------------------------------
+
+    def _writers_of(self, location: Location) -> int:
+        """Bitmask of rules with a write conflicting one location (cached)."""
+        writers = self._writer_cache.get(location)
+        if writers is None:
+            writers = 0
+            for index, fp in enumerate(self.footprints):
+                if fp.unknown or read_write_conflict({location}, fp.writes):
+                    writers |= 1 << index
+            self._writer_cache[location] = writers
+        return writers
+
+    def _refined_writers(
+        self, location: Location, state: Any, closure: int, enabled_mask: int,
+        prefer_alternative: bool = False,
+    ) -> int:
+        """State-refined writer set: conditional writers whose learned
+        write condition is provably false at ``state`` are replaced by the
+        writers of their predictor location (the condition must change
+        before they can touch ``location``) — unless keeping the writer
+        itself is cheaper for the closure.
+        """
+        base = self._writers_of(location)
+        result = 0
+        remaining = base
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            index = low.bit_length() - 1
+            fp = self.footprints[index]
+            if fp.unknown or not fp.write_conditions:
+                result |= low
+                continue
+            alternative = 0
+            excludable = True
+            for write_loc in fp.writes:
+                if not locations_conflict(write_loc, location):
+                    continue
+                condition = fp.write_conditions.get(write_loc)
+                if condition is None:
+                    excludable = False
+                    break
+                predictor, table = condition
+                try:
+                    wrote = table.get(value_at(state, predictor), True)
+                except Exception:
+                    excludable = False
+                    break
+                if wrote is not False:
+                    excludable = False
+                    break
+                alternative |= self._writers_of(predictor)
+            if not excludable:
+                result |= low
+                continue
+            result |= self._pick_alternative(
+                low, alternative, closure, enabled_mask, prefer_alternative
+            )
+        return result
+
+    @staticmethod
+    def _pick_alternative(
+        keep: int, alternative: int, closure: int, enabled_mask: int,
+        prefer_alternative: bool,
+    ) -> int:
+        """Keep a refutable rule or swap in its predictor writers.
+
+        Both choices are sound; the greedy cost (enabled additions weigh
+        heavily) is right most of the time, but a kept rule's own enabling
+        chain can be the expensive path — the closure therefore runs once
+        greedily and once preferring the alternative, and uses whichever
+        yields a proper ample set.
+        """
+        if prefer_alternative:
+            return alternative
+        new_keep = keep & ~closure
+        new_alt = alternative & ~closure
+        cost_keep = 1000 * bin(new_keep & enabled_mask).count("1") + bin(
+            new_keep
+        ).count("1")
+        cost_alt = 1000 * bin(new_alt & enabled_mask).count("1") + bin(
+            new_alt
+        ).count("1")
+        return alternative if cost_alt < cost_keep else keep
+
+    def necessary_enablers(
+        self, rule_index: int, state: Any, closure: int = 0,
+        enabled_mask: int = 0, prefer_alternative: bool = False,
+    ) -> int:
+        """A necessary enabling set for a rule disabled at ``state``.
+
+        Any path on which the rule becomes enabled must first make every
+        currently-false guard atom true, and a single-location atom can
+        only change truth when its location is written — so the writers of
+        *any one* provably-false atom form a sound NES.  Among the provably
+        false atoms, the one contributing fewest rules *not already in the
+        growing closure* is chosen (a cache rule's own-state atom is free
+        once its writers are in; a message-key atom costs only its few
+        senders); when no atom's falsity can be established from the
+        learned truth tables, the fallback is the writers of the guard's
+        whole read set.
+        """
+        fp = self.footprints[rule_index]
+        if self.complete and not fp.ever_enabled:
+            # Dead rule: a complete probe proves it is never enabled at
+            # any reachable state, so nothing can ever fire it and no
+            # enabling set is needed at all.
+            return 0
+        if fp.unknown or fp.atoms_unstable:
+            return self.guard_writers[rule_index]
+        best: Optional[int] = None
+        best_cost = 0
+        for position, location in enumerate(fp.atoms):
+            try:
+                value = value_at(state, location)
+                truth = fp.atom_truth[position].get(value, True)
+            except Exception:
+                continue
+            if truth is not False:
+                continue
+            writers = self._refined_writers(
+                location, state, closure, enabled_mask, prefer_alternative
+            )
+            new = writers & ~closure
+            cost = 1000 * bin(new & enabled_mask).count("1") + bin(new).count("1")
+            if best is None or cost < best_cost:
+                best, best_cost = writers, cost
+                if cost == 0:
+                    break
+        if best is None:
+            return self.guard_writers[rule_index]
+        return best
+
+    def visible_mask_for(self, pending_coverage) -> int:
+        """Rules visible while the given coverage names are still pending.
+
+        Invariant-visibility always applies; a coverage predicate's
+        visibility applies only until some visited state witnesses it.
+        """
+        key = frozenset(pending_coverage)
+        cached = self._visible_cache.get(key)
+        if cached is None:
+            props = (1 << self.invariant_count) - 1
+            for name in key:
+                index = self.coverage_index.get(name)
+                if index is not None:
+                    props |= 1 << index
+            cached = 0
+            for index, fp in enumerate(self.footprints):
+                if fp.visible_props & props:
+                    cached |= 1 << index
+            self._visible_cache[key] = cached
+        return cached
+
+    def ample(
+        self, enabled_mask: int, state: Any, visible_mask: int
+    ) -> Optional[Tuple[int, ...]]:
+        """A proper, invisible, persistent subset of the enabled rules.
+
+        Returns rule indices to expand (ascending), or ``None`` when the
+        state must be fully expanded.  ``visible_mask`` is the caller's
+        current :meth:`visible_mask_for` value.  For a skeleton the
+        decision is candidate-independent: guards cannot resolve holes, so
+        the enabled set — and everything derived from it — is the same for
+        every completion.
+        """
+        if enabled_mask in self._ample_reject:
+            return None
+        best: Optional[int] = None
+        best_size = 0
+        for seed in self._seed_order:
+            if not (enabled_mask >> seed) & 1 or (visible_mask >> seed) & 1:
+                continue
+            for prefer_alternative in (False, True):
+                closure = self._closure(
+                    seed, enabled_mask, state, prefer_alternative
+                )
+                ample_mask = closure & enabled_mask
+                if ample_mask == enabled_mask:
+                    continue
+                if ample_mask & visible_mask:
+                    continue  # C2: a proper ample set must be invisible
+                size = bin(ample_mask).count("1")
+                if best is None or size < best_size:
+                    best, best_size = ample_mask, size
+            if best is not None and best_size == 1:
+                break
+        if best is None:
+            self._ample_reject.add(enabled_mask)
+            return None
+        indices = []
+        mask = best
+        while mask:
+            low = mask & -mask
+            indices.append(low.bit_length() - 1)
+            mask ^= low
+        return tuple(indices)
+
+    def _closure(
+        self, seed: int, enabled_mask: int, state: Any,
+        prefer_alternative: bool = False,
+    ) -> int:
+        """Stubborn-set closure: dependents of enabled members, necessary
+        enablers of disabled members."""
+        closure = 1 << seed
+        work = [seed]
+        while work:
+            rule = work.pop()
+            if (enabled_mask >> rule) & 1:
+                additions = self.refined_dependents(
+                    rule, state, closure, enabled_mask, prefer_alternative
+                ) & ~closure
+            else:
+                additions = self.necessary_enablers(
+                    rule, state, closure, enabled_mask, prefer_alternative
+                ) & ~closure
+            while additions:
+                low = additions & -additions
+                additions ^= low
+                index = low.bit_length() - 1
+                closure |= low
+                work.append(index)
+        return closure
+
+
+def get_footprint_analysis(
+    system: Any,
+    probe_limit: int = DEFAULT_PROBE_LIMIT,
+    combo_limit: int = DEFAULT_COMBO_LIMIT,
+) -> FootprintAnalysis:
+    """The (cached) footprint analysis of one system.
+
+    The analysis is deterministic, so the benign race of two threads
+    computing it concurrently resolves to identical values; the attribute
+    write is atomic under the GIL.
+    """
+    cached = getattr(system, "_footprint_analysis", None)
+    if cached is None:
+        cached = FootprintAnalysis(system, probe_limit, combo_limit)
+        system._footprint_analysis = cached
+    return cached

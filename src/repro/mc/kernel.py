@@ -73,6 +73,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ModelError, WildcardEncountered
 from repro.mc.context import ExecutionContext
+from repro.mc.footprint import get_footprint_analysis
 from repro.mc.result import FailureKind, RunStats, Verdict, VerificationResult
 from repro.mc.system import TransitionSystem
 from repro.mc.trace import Trace, TraceStep
@@ -114,6 +115,14 @@ class ExplorationCheckpoint:
             the prefix; seeds the resumed run's executed set).
         hole_paths: per-sid discovery-path hole sets when the producing run
             tracked them (``track_hole_paths``), else ``None``.
+        reduction: ``"por"`` or ``"full"`` — the reduction mode the
+            producing run explored under.  A checkpoint is only reusable
+            by a run in the same mode: the visited set of a reduced
+            exploration is not a superset-compatible seed for a full one
+            (or vice versa), so :meth:`ExplorationKernel.run` refuses a
+            cross-mode resume.
+        por_rules_skipped / ample_states: counter seeds for the POR
+            statistics, like the other counters.
     """
 
     visited: Dict[Any, int]
@@ -127,6 +136,9 @@ class ExplorationCheckpoint:
     max_depth: int
     executed_holes: frozenset
     hole_paths: Optional[Tuple[frozenset, ...]] = None
+    reduction: str = "full"
+    por_rules_skipped: int = 0
+    ample_states: int = 0
 
 
 class FrontierStrategy:
@@ -150,6 +162,7 @@ class FifoFrontier(FrontierStrategy):
     name = "bfs"
 
     def pop(self, frontier: deque) -> Tuple[Any, int, int]:
+        """Pop the oldest frontier entry (queue order)."""
         return frontier.popleft()
 
 
@@ -164,9 +177,11 @@ class LifoFrontier(FrontierStrategy):
     name = "dfs"
 
     def pop(self, frontier: deque) -> Tuple[Any, int, int]:
+        """Pop the newest frontier entry (stack order)."""
         return frontier.pop()
 
     def order_rules(self, rules: Sequence) -> Tuple:
+        """Reverse declaration order (historical DFS trial order)."""
         return tuple(reversed(rules))
 
 
@@ -208,6 +223,16 @@ class ExplorationKernel:
             exploration — *does* checkpoint, deliberately: such a prefix
             explores the identical space as every extension, so resumed
             runs (empty cut set) return the same verdict immediately.
+        partial_order: enable footprint-based partial-order reduction
+            (:mod:`repro.mc.footprint`): states whose enabled rules admit
+            a persistent, property-invisible ample subset expand only
+            that subset.  Verdict-exact; the deferred interleavings'
+            effects are reached through the explored ones.  The frontier
+            strategy keeps its cycle proviso sound: FIFO requires a not
+            yet expanded ample successor (the queue proviso), LIFO — a
+            frontier-based DFS with no path stack — conservatively
+            requires an unvisited one.  Counterexample traces under POR
+            are valid but not always depth-minimal.
     """
 
     def __init__(
@@ -221,7 +246,9 @@ class ExplorationKernel:
         capture_graph: Any = None,
         resume_from: Optional[ExplorationCheckpoint] = None,
         collect_checkpoint: bool = False,
+        partial_order: bool = False,
     ) -> None:
+        self.partial_order = partial_order
         if isinstance(strategy, str):
             try:
                 strategy = EXPLORER_STRATEGIES[strategy]()
@@ -262,7 +289,25 @@ class ExplorationKernel:
         canonicalize = system.canonicalize
         limits = self.limits
         visited = self.visited_states
-        rules = self.strategy.order_rules(system.rules)
+        all_rules = tuple(system.rules)
+        #: rule indices in the strategy's firing order (system indexing,
+        #: so POR bitmasks line up)
+        ordered_indices = tuple(
+            self.strategy.order_rules(tuple(range(len(all_rules))))
+        )
+        por = None
+        if self.partial_order:
+            analysis = get_footprint_analysis(system)
+            if analysis.usable:
+                por = analysis
+        reduction_mode = "por" if por is not None else "full"
+        if self.resume_from is not None and self.resume_from.reduction != reduction_mode:
+            raise ModelError(
+                f"cannot resume a {reduction_mode!r}-mode exploration from a "
+                f"{self.resume_from.reduction!r}-mode checkpoint; partial-order "
+                f"reduction must match across a prefix chain"
+            )
+        fifo_proviso = isinstance(self.strategy, FifoFrontier)
         parents: List[Optional[Tuple[int, str]]] = []
         originals: List[Any] = []
         hole_paths: List[frozenset] = []
@@ -275,6 +320,10 @@ class ExplorationKernel:
         wildcard_cuts = 0
         max_depth = 0
         truncated = False
+        por_rules_skipped = 0
+        ample_states = 0
+        #: state ids already popped and expanded (the FIFO queue proviso)
+        expanded: Set[int] = set()
         resume = self.resume_from
         states_reused = 0
         if resume is not None:
@@ -290,6 +339,8 @@ class ExplorationKernel:
             transitions = resume.transitions
             attempts = resume.attempts
             max_depth = resume.max_depth
+            por_rules_skipped = resume.por_rules_skipped
+            ample_states = resume.ample_states
             ctx.run_executed_holes.update(resume.executed_holes)
 
         # The orbit cache (repro.mc.symmetry.CachingCanonicalizer) is
@@ -356,6 +407,8 @@ class ExplorationKernel:
                 canon_cache_hits=getattr(canonicalize, "hits", 0) - cache_hits_base,
                 canon_cache_size=getattr(canonicalize, "size", 0),
                 prefix_states_reused=states_reused,
+                por_rules_skipped=por_rules_skipped,
+                ample_states=ample_states,
             )
 
         def failure(kind: FailureKind, message: str, sid: int,
@@ -377,9 +430,21 @@ class ExplorationKernel:
         if resume is not None:
             # Inherited states already passed the invariants; only the
             # wildcard-cut states need re-expansion (their classification
-            # depends on holes this run's resolver now assigns).
+            # depends on holes this run's resolver now assigns).  All
+            # *other* inherited states count as already expanded for the
+            # FIFO cycle proviso — they never will be re-expanded here, so
+            # an ample successor pointing at one must not pass as "still
+            # open" or a deferral cycle through the prefix could ignore a
+            # rule forever.
+            cut_sids = set()
             for sid, depth in resume.cut_states:
+                cut_sids.add(sid)
                 frontier.append((originals[sid], sid, depth))
+            if self.partial_order:
+                expanded.update(
+                    sid for sid in range(len(resume.originals))
+                    if sid not in cut_sids
+                )
         else:
             # Seed with initial states (checking invariants on them too).
             for state in system.initial_states():
@@ -400,6 +465,8 @@ class ExplorationKernel:
                 truncated = True
                 break
             state, sid, depth = self.strategy.pop(frontier)
+            if por is not None:
+                expanded.add(sid)
             if depth > max_depth:
                 max_depth = depth
             if limits.max_depth is not None and depth >= limits.max_depth:
@@ -407,43 +474,98 @@ class ExplorationKernel:
                 continue
             produced_successor = False
             cut_here = False
+            proviso_ok = False
             path_holes = hole_paths[sid] if self.track_hole_paths else frozenset()
             holes_at_state: Set[Any] = set()
 
-            for rule in rules:
-                if not rule.guard(state):
-                    continue
-                attempts += 1
-                ctx.begin_firing()
-                try:
-                    successors = rule.fire(state, ctx)
-                except WildcardEncountered:
-                    cut_here = True
-                    wildcard_cuts += 1
-                    continue
-                if self.track_hole_paths:
-                    holes_at_state |= ctx.firing_executed_holes
-                if successors:
-                    produced_successor = True
-                firing_holes = (
-                    path_holes | ctx.firing_executed_holes
-                    if self.track_hole_paths
-                    else frozenset()
-                )
-                for successor in successors:
-                    transitions += 1
-                    new_sid, is_new = register(
-                        successor, (sid, rule.name), depth + 1, firing_holes
+            ample: Optional[frozenset] = None
+            enabled: Sequence[int] = ordered_indices
+            if por is not None:
+                enabled = [
+                    index for index in ordered_indices
+                    if all_rules[index].guard(state)
+                ]
+                if len(enabled) >= 2:
+                    mask = 0
+                    for index in enabled:
+                        mask |= 1 << index
+                    visible = por.visible_mask_for(
+                        prop.name for prop in pending_coverage
                     )
-                    if not is_new:
+                    chosen = por.ample(mask, state, visible)
+                    if chosen is not None:
+                        ample = frozenset(chosen)
+
+            def fire_indices(indices, check_guard) -> Optional[VerificationResult]:
+                """Fire a batch of rules at the current state.
+
+                With ``check_guard`` (the POR-off fast path) disabled
+                rules are skipped inline; the POR path pre-filters the
+                enabled set instead because ample selection needs it.
+                """
+                nonlocal produced_successor, cut_here, proviso_ok
+                nonlocal attempts, wildcard_cuts, transitions, holes_at_state
+                for index in indices:
+                    rule = all_rules[index]
+                    if check_guard and not rule.guard(state):
                         continue
-                    for invariant in system.invariants:
-                        if not invariant.holds(successor):
-                            return failure(
-                                FailureKind.INVARIANT,
-                                f"invariant {invariant.name!r} violated",
-                                new_sid,
-                            )
+                    attempts += 1
+                    ctx.begin_firing()
+                    try:
+                        successors = rule.fire(state, ctx)
+                    except WildcardEncountered:
+                        cut_here = True
+                        wildcard_cuts += 1
+                        continue
+                    if self.track_hole_paths:
+                        holes_at_state |= ctx.firing_executed_holes
+                    if successors:
+                        produced_successor = True
+                    firing_holes = (
+                        path_holes | ctx.firing_executed_holes
+                        if self.track_hole_paths
+                        else frozenset()
+                    )
+                    for successor in successors:
+                        transitions += 1
+                        new_sid, is_new = register(
+                            successor, (sid, rule.name), depth + 1, firing_holes
+                        )
+                        if is_new or (fifo_proviso and new_sid not in expanded):
+                            proviso_ok = True
+                        if not is_new:
+                            continue
+                        for invariant in system.invariants:
+                            if not invariant.holds(successor):
+                                return failure(
+                                    FailureKind.INVARIANT,
+                                    f"invariant {invariant.name!r} violated",
+                                    new_sid,
+                                )
+                return None
+
+            outcome = fire_indices(
+                enabled if ample is None
+                else [index for index in enabled if index in ample],
+                check_guard=por is None,
+            )
+            if outcome is not None:
+                return outcome
+            if ample is not None:
+                if proviso_ok and produced_successor:
+                    ample_states += 1
+                    por_rules_skipped += len(enabled) - len(ample)
+                else:
+                    # Cycle proviso tripped (or the ample rules produced
+                    # nothing): upgrade to a full expansion so no firing
+                    # is deferred around a cycle and deadlock
+                    # classification stays exact.
+                    outcome = fire_indices(
+                        [index for index in enabled if index not in ample],
+                        check_guard=False,
+                    )
+                    if outcome is not None:
+                        return outcome
 
             if cut_here:
                 cut_states.append((sid, depth))
@@ -470,6 +592,9 @@ class ExplorationKernel:
                 max_depth=max_depth,
                 executed_holes=frozenset(ctx.run_executed_holes),
                 hole_paths=tuple(hole_paths) if self.track_hole_paths else None,
+                reduction=reduction_mode,
+                por_rules_skipped=por_rules_skipped,
+                ample_states=ample_states,
             )
 
         unmet = tuple(prop.name for prop in pending_coverage)
@@ -514,6 +639,7 @@ def make_explorer(
     capture_graph: Any = None,
     resume_from: Optional[ExplorationCheckpoint] = None,
     collect_checkpoint: bool = False,
+    partial_order: bool = False,
 ) -> ExplorationKernel:
     """Build a kernel for a registered strategy name (``bfs``/``dfs``).
 
@@ -532,4 +658,5 @@ def make_explorer(
         capture_graph=capture_graph,
         resume_from=resume_from,
         collect_checkpoint=collect_checkpoint,
+        partial_order=partial_order,
     )

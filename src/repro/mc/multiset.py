@@ -74,6 +74,7 @@ class Multiset:
         )
 
     def count(self, item: T) -> int:
+        """Copies of ``item`` present (0 when absent)."""
         for element, count in self._items:
             if element == item:
                 return count
@@ -85,6 +86,7 @@ class Multiset:
             yield element
 
     def items(self) -> Iterator[Tuple[T, int]]:
+        """Iterate (element, count) pairs in canonical order."""
         return iter(self._items)
 
     def map(self, fn) -> "Multiset":
@@ -98,6 +100,7 @@ class Multiset:
         )
 
     def filter(self, predicate) -> "Multiset":
+        """A new multiset keeping only elements the predicate accepts."""
         return Multiset(
             item for item, count in self._items for _ in range(count) if predicate(item)
         )

@@ -57,6 +57,12 @@ class RunStats:
     runs; see :class:`~repro.mc.kernel.ExplorationCheckpoint`).  They are
     included in ``states_visited``, which therefore matches a from-scratch
     run of the same candidate.
+
+    ``ample_states`` counts the states partial-order reduction expanded
+    with a proper subset of their enabled rules, and
+    ``por_rules_skipped`` the enabled rule firings those reduced
+    expansions deferred (see :mod:`repro.mc.footprint`).  Both are 0 when
+    POR is off or never found a reducible state.
     """
 
     states_visited: int = 0
@@ -68,8 +74,11 @@ class RunStats:
     canon_cache_hits: int = 0
     canon_cache_size: int = 0
     prefix_states_reused: int = 0
+    por_rules_skipped: int = 0
+    ample_states: int = 0
 
     def merged_with(self, other: "RunStats") -> "RunStats":
+        """Combine two runs' statistics (sums, maxima, or-flags)."""
         return RunStats(
             states_visited=self.states_visited + other.states_visited,
             transitions_fired=self.transitions_fired + other.transitions_fired,
@@ -81,6 +90,8 @@ class RunStats:
             canon_cache_size=max(self.canon_cache_size, other.canon_cache_size),
             prefix_states_reused=self.prefix_states_reused
             + other.prefix_states_reused,
+            por_rules_skipped=self.por_rules_skipped + other.por_rules_skipped,
+            ample_states=self.ample_states + other.ample_states,
         )
 
 
@@ -117,14 +128,17 @@ class VerificationResult:
 
     @property
     def is_success(self) -> bool:
+        """Whether the verdict is SUCCESS."""
         return self.verdict is Verdict.SUCCESS
 
     @property
     def is_failure(self) -> bool:
+        """Whether the verdict is FAILURE."""
         return self.verdict is Verdict.FAILURE
 
     @property
     def is_unknown(self) -> bool:
+        """Whether the verdict is UNKNOWN."""
         return self.verdict is Verdict.UNKNOWN
 
     def summary(self) -> str:

@@ -36,6 +36,7 @@ class Record:
         object.__setattr__(self, "_hash", hash(self._fields))
 
     def update(self, **changes: Any) -> "Record":
+        """A copy with the given fields replaced (unknown names rejected)."""
         current: Dict[str, Any] = dict(self._fields)
         for name in changes:
             if name not in current:
@@ -44,6 +45,7 @@ class Record:
         return Record(**current)
 
     def as_dict(self) -> Dict[str, Any]:
+        """The fields as a plain dict."""
         return dict(self._fields)
 
     def __getattr__(self, name: str) -> Any:

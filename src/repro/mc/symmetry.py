@@ -65,6 +65,7 @@ class ScalarSet:
         self._perms: Optional[List[Tuple[int, ...]]] = None
 
     def indices(self) -> range:
+        """The index range of this scalarset."""
         return range(self.size)
 
     def permutations(self) -> List[Tuple[int, ...]]:
@@ -129,6 +130,7 @@ class CachingCanonicalizer:
 
     @property
     def size(self) -> int:
+        """Entries currently memoised."""
         return len(self._cache)
 
     def clear(self) -> None:
@@ -199,6 +201,7 @@ class Permuter:
 
     @property
     def orbit_size(self) -> int:
+        """Number of permutation mappings applied per orbit scan."""
         return len(self._mappings)
 
     def orbit(self, state: Any) -> List[Any]:

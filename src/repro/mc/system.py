@@ -10,7 +10,7 @@ expressiveness to Murphi)".
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import ModelError
 from repro.mc.properties import CoverageProperty, DeadlockPolicy, Invariant
@@ -64,6 +64,7 @@ class TransitionSystem:
             seen.add(rule.name)
 
     def initial_states(self) -> List[Any]:
+        """Materialise the (non-empty) initial states."""
         states = self._initial_states() if callable(self._initial_states) else self._initial_states
         states = list(states)
         if not states:

@@ -42,14 +42,17 @@ class Trace:
 
     @property
     def steps(self) -> Tuple[TraceStep, ...]:
+        """The trace steps, initial state first."""
         return self._steps
 
     @property
     def initial_state(self) -> Any:
+        """The state the trace starts from."""
         return self._steps[0].state
 
     @property
     def final_state(self) -> Any:
+        """The state the trace ends in (the violating one)."""
         return self._steps[-1].state
 
     @property

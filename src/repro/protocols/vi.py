@@ -22,7 +22,7 @@ Holeable rules (used by the VI synthesis example):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.action import Action
 from repro.core.hole import Hole

@@ -3,11 +3,10 @@
 import pytest
 
 from repro.core.action import Action
-from repro.core.candidate import CandidateVector
 from repro.core.engine import SynthesisConfig, SynthesisEngine, SynthesisObserver
 from repro.core.hole import Hole
 from repro.core.parallel import ParallelSynthesisEngine
-from repro.mc.properties import DeadlockPolicy, Invariant
+from repro.mc.properties import Invariant
 from repro.mc.rule import Rule
 from repro.mc.system import TransitionSystem
 from repro.protocols.toy import build_figure2_skeleton, build_figure2_solution

@@ -1,6 +1,5 @@
 """Tests for candidate enumerators (completeness, ranges, skipping)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,222 @@
+"""Equivalence matrix for footprint-based partial-order reduction.
+
+POR must be a pure state-space optimisation: on every catalog protocol and
+skeleton, exploring with it on and off must produce
+
+* identical verify verdicts (including the seeded-bug builds and the
+  eviction extension), under symmetry on and off and both frontier
+  strategies, with any counterexample trace *replayable* — each step a
+  real firing of the named rule, ending in a state violating a property;
+* identical synthesis solution sets (compared by hole-name -> action-name
+  assignment: POR changes rule firing order, hence hole discovery order
+  and digit positions, but never which completions are correct);
+* per-candidate verdict agreement wherever both modes dispatched the same
+  (named) candidate to the model checker;
+* never *more* states visited with the reduction on.
+
+``states_visited`` and the pruning-pattern economy legitimately differ —
+patterns are generalised from traces, and POR traces interleave
+differently — so neither is compared.
+"""
+
+import pytest
+
+from repro.core import SynthesisConfig, SynthesisEngine
+from repro.core.candidate import WILDCARD
+from repro.core.engine import SynthesisObserver
+from repro.core.parallel import ParallelSynthesisEngine
+from repro.dist import DistributedSynthesisEngine, SystemSpec
+from repro.mc.kernel import make_explorer
+from repro.mc.context import ExecutionContext, FixedResolver
+from repro.mc.result import Verdict
+from repro.protocols.catalog import PROTOCOL_BUILDERS, build_skeleton
+from repro.protocols.german import build_german_system
+from repro.protocols.moesi import build_moesi_system
+
+#: (label, builder) for every complete system the verify matrix covers:
+#: each catalog protocol plus the seeded-bug builds and the MSI eviction
+#: extension
+VERIFY_SYSTEMS = [
+    ("mutex", lambda: PROTOCOL_BUILDERS["mutex"](2)),
+    ("vi", lambda: PROTOCOL_BUILDERS["vi"](2)),
+    ("msi@2", lambda: PROTOCOL_BUILDERS["msi"](2)),
+    ("msi@3", lambda: PROTOCOL_BUILDERS["msi"](3)),
+    ("msi-evict", lambda: PROTOCOL_BUILDERS["msi"](2, evictions=True)),
+    ("mesi", lambda: PROTOCOL_BUILDERS["mesi"](2)),
+    ("moesi", lambda: PROTOCOL_BUILDERS["moesi"](2)),
+    ("german", lambda: PROTOCOL_BUILDERS["german"](2)),
+    ("moesi-bug", lambda: build_moesi_system(2, bug="no-owner-inv")),
+    ("german-bug", lambda: build_german_system(2, bug="stale-shared-grant")),
+    ("msi-nosym", lambda: PROTOCOL_BUILDERS["msi"](2, symmetry=False)),
+    ("german-nosym", lambda: PROTOCOL_BUILDERS["german"](2, symmetry=False)),
+]
+
+#: every catalog skeleton the synthesis matrix covers; msi-large shares
+#: msi-small's machinery at a size that is not tier-1 material
+SKELETONS = [
+    "figure2",
+    "mutex",
+    "vi",
+    "msi-tiny",
+    "msi-read-tiny",
+    "msi-small",
+    "mesi",
+    "moesi-small",
+    "german-small",
+]
+
+
+def replay_trace(system, trace):
+    """Assert a trace is a real execution of ``system`` ending in a
+    property violation (or a deadlock state)."""
+    rules = {rule.name: rule for rule in system.rules}
+    ctx = ExecutionContext()
+    current = None
+    for step in trace.steps:
+        if step.rule_name is None:
+            assert any(step.state == s for s in system.initial_states())
+        else:
+            rule = rules[step.rule_name]
+            assert rule.guard(current), step.rule_name
+            successors = rule.fire(current, ctx)
+            assert any(step.state == s for s in successors), step.rule_name
+        current = step.state
+    violated = any(not inv.holds(current) for inv in system.invariants)
+    deadlocked = not any(rule.guard(current) for rule in system.rules)
+    assert violated or deadlocked
+
+
+@pytest.mark.parametrize("label,builder", VERIFY_SYSTEMS,
+                         ids=[label for label, _ in VERIFY_SYSTEMS])
+def test_verify_verdicts_match(label, builder):
+    # One shared system for the reduced runs: the footprint analysis is
+    # cached per system object, so both strategies amortise one probe.
+    reduced_system = builder()
+    for strategy in ("bfs", "dfs"):
+        baseline = make_explorer(strategy, builder()).run()
+        reduced = make_explorer(
+            strategy, reduced_system, partial_order=True
+        ).run()
+        assert reduced.verdict == baseline.verdict, strategy
+        assert reduced.failure_kind == baseline.failure_kind, strategy
+        assert reduced.stats.states_visited <= baseline.stats.states_visited
+        assert reduced.wildcard_encountered == baseline.wildcard_encountered
+        if reduced.trace is not None:
+            replay_trace(builder(), reduced.trace)
+
+
+def test_verify_por_reduces_states_somewhere():
+    """The reduction must actually reduce on the workloads it targets."""
+    system = PROTOCOL_BUILDERS["moesi"](2)
+    reduced = make_explorer("bfs", system, partial_order=True).run()
+    baseline = make_explorer("bfs", PROTOCOL_BUILDERS["moesi"](2)).run()
+    assert reduced.stats.ample_states > 0
+    assert reduced.stats.por_rules_skipped > 0
+    assert reduced.stats.states_visited < baseline.stats.states_visited
+
+
+def test_reference_candidate_check_matches():
+    """A skeleton's reference completion verifies identically under POR."""
+    from repro.protocols.msi.skeleton import msi_small
+
+    def run(por):
+        skeleton = msi_small(2)
+        resolver = FixedResolver({
+            hole: hole.domain[
+                hole.index_of(skeleton.reference_assignment()[hole.name])
+            ]
+            for hole in skeleton.holes
+        })
+        return make_explorer(
+            "bfs", skeleton.system, resolver=resolver, partial_order=por
+        ).run()
+
+    on, off = run(True), run(False)
+    assert on.verdict is Verdict.SUCCESS
+    assert off.verdict is Verdict.SUCCESS
+    assert on.stats.states_visited <= off.stats.states_visited
+
+
+class NamedVerdictRecorder(SynthesisObserver):
+    """Candidate (by hole names) -> verdict, robust to digit reordering."""
+
+    def __init__(self):
+        self.verdicts = {}
+
+    def on_run(self, run_index, vector, result, holes):
+        key = frozenset(
+            (
+                holes[position].name,
+                "*" if entry is WILDCARD else holes[position].domain[entry].name,
+            )
+            for position, entry in enumerate(vector.entries)
+        )
+        self.verdicts[key] = result.verdict.value
+
+
+def assignment_view(report):
+    return sorted(frozenset(solution.assignment) for solution in report.solutions)
+
+
+def executed_view(report):
+    return sorted(
+        (frozenset(s.assignment), s.executed_holes) for s in report.solutions
+    )
+
+
+@pytest.mark.parametrize("name", SKELETONS)
+def test_synthesis_solution_sets_match(name):
+    on_observer = NamedVerdictRecorder()
+    off_observer = NamedVerdictRecorder()
+    on = SynthesisEngine(
+        build_skeleton(name), SynthesisConfig(partial_order=True), on_observer
+    ).run()
+    off = SynthesisEngine(
+        build_skeleton(name), SynthesisConfig(partial_order=False), off_observer
+    ).run()
+    assert assignment_view(on) == assignment_view(off)
+    assert executed_view(on) == executed_view(off)
+    assert {hole.name for hole in on.holes} == {hole.name for hole in off.holes}
+    assert on.partial_order and not off.partial_order
+    shared = set(on_observer.verdicts) & set(off_observer.verdicts)
+    assert shared, "modes share no dispatched candidates"
+    for key in shared:
+        assert on_observer.verdicts[key] == off_observer.verdicts[key], key
+
+
+@pytest.mark.parametrize("name", ["msi-tiny", "german-small"])
+def test_synthesis_backends_match_under_por(name):
+    """POR composes with the thread and process backends (and the
+    PassStart tripwire lets matching configs through)."""
+    config = SynthesisConfig(partial_order=True)
+    sequential = SynthesisEngine(build_skeleton(name), config).run()
+    threaded = ParallelSynthesisEngine(
+        build_skeleton(name), SynthesisConfig(partial_order=True), threads=2
+    ).run()
+    distributed = DistributedSynthesisEngine(
+        SystemSpec(name), SynthesisConfig(partial_order=True),
+        workers=2, min_batch_size=2,
+    ).run()
+    assert (
+        assignment_view(sequential)
+        == assignment_view(threaded)
+        == assignment_view(distributed)
+    )
+    assert distributed.por_rules_skipped == 0 or distributed.ample_states > 0
+
+
+@pytest.mark.parametrize("flags", [
+    dict(generalise_conflicts=False),
+    dict(prefix_reuse=False),
+    dict(pruning=False),
+    dict(explorer="dfs"),
+])
+def test_synthesis_flag_combinations_match(flags):
+    """POR on/off agree under every other acceleration toggle too."""
+    on = SynthesisEngine(
+        build_skeleton("msi-tiny"), SynthesisConfig(partial_order=True, **flags)
+    ).run()
+    off = SynthesisEngine(
+        build_skeleton("msi-tiny"), SynthesisConfig(partial_order=False, **flags)
+    ).run()
+    assert assignment_view(on) == assignment_view(off)

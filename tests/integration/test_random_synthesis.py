@@ -17,7 +17,7 @@ report:
 """
 
 import itertools
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

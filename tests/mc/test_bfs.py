@@ -1,6 +1,5 @@
 """Tests for the BFS explorer: verdicts, minimal traces, wildcard semantics."""
 
-import pytest
 
 from repro.core.action import Action
 from repro.core.hole import Hole

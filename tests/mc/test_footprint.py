@@ -1,0 +1,195 @@
+"""Unit tests for the footprint analysis (repro.mc.footprint)."""
+
+
+from repro.mc.footprint import (
+    AccessLog,
+    FootprintAnalysis,
+    diff_states,
+    get_footprint_analysis,
+    locations_conflict,
+    ser,
+    value_at,
+    wrap_state,
+    writes_conflict,
+)
+from repro.mc.multiset import Multiset
+from repro.mc.properties import Invariant
+from repro.mc.rule import Rule
+from repro.mc.state import Record
+from repro.mc.system import TransitionSystem
+
+
+class TestLocations:
+    def test_disjoint_paths_do_not_conflict(self):
+        assert not locations_conflict((0, 1), (0, 2))
+        assert not locations_conflict((0,), (1,))
+
+    def test_prefix_conflicts(self):
+        assert locations_conflict((0,), (0, 2))
+        assert locations_conflict((0, 2), (0,))
+        assert locations_conflict((), (3, "x"))
+
+    def test_elements_conflict_only_when_equal(self):
+        a = (6, ("elem", ("tup", "Inv", 0)))
+        b = (6, ("elem", ("tup", "Inv", 1)))
+        assert not locations_conflict(a, b)
+        assert locations_conflict(a, a)
+
+    def test_size_read_conflicts_with_element_write(self):
+        assert locations_conflict((6, ("size",)), (6, ("elem", "x")))
+
+    def test_eclass_matches_message_elements(self):
+        eclass = (2, ("eclass", "GntS", 1))
+        hit = (2, ("elem", ("msg", "GntS", -1, 1, None)))
+        miss = (2, ("elem", ("msg", "GntS", -1, 0, None)))
+        other = (2, ("elem", ("msg", "Inv", -1, 1, None)))
+        assert locations_conflict(eclass, hit)
+        assert not locations_conflict(eclass, miss)
+        assert not locations_conflict(eclass, other)
+        # mtype None scans any type to that destination
+        assert locations_conflict((2, ("eclass", None, 1)), hit)
+
+    def test_commuting_write_kinds(self):
+        a = {(6, ("elem", "m")): "delta"}
+        b = {(6, ("elem", "m")): "delta"}
+        assert not writes_conflict(a, b)
+        assert writes_conflict(a, {(6, ("elem", "m")): "set"})
+
+
+class TestTracking:
+    def test_leaf_comparison_records_read(self):
+        log = AccessLog()
+        state = wrap_state(((1, 2), 5), log)
+        assert state[0][1] == 2
+        assert state[1] > 4
+        assert log.reads == {(0, 1), (1,)}
+
+    def test_navigation_alone_records_nothing(self):
+        log = AccessLog()
+        state = wrap_state(((1, 2), 5), log)
+        _caches, _x = state
+        list(_caches)
+        assert log.reads == set()
+
+    def test_multiset_membership_is_element_granular(self):
+        log = AccessLog()
+        state = wrap_state((Multiset([("Inv", 0)]),), log)
+        assert ("Inv", 0) in state[0]
+        assert ("Inv", 1) not in state[0]
+        assert log.reads == {
+            (0, ("elem", ser(("Inv", 0)))),
+            (0, ("elem", ser(("Inv", 1)))),
+        }
+
+    def test_record_field_access(self):
+        log = AccessLog()
+        state = wrap_state((Record(st="I", d=0),), log)
+        assert state[0].st == "I"
+        assert log.reads == {(0, "st")}
+
+    def test_frozenset_algebra_observes_whole_set(self):
+        log = AccessLog()
+        state = wrap_state((frozenset({1, 2}),), log)
+        assert state[0] - {1} == frozenset({2})
+        assert (0,) in log.reads
+
+
+class TestDiff:
+    def test_tuple_position_writes(self):
+        writes = diff_states(((0, 0), 1), ((0, 2), 1))
+        assert writes == {(0, 1): "set"}
+
+    def test_multiset_delta_writes(self):
+        before = (Multiset([("Inv", 0)]),)
+        after = (Multiset([("Inv", 0), ("Ack", 1)]),)
+        assert diff_states(before, after) == {
+            (0, ("elem", ser(("Ack", 1)))): "delta"
+        }
+
+    def test_frozenset_add_remove_kinds(self):
+        writes = diff_states((frozenset({1}),), (frozenset({2}),))
+        assert writes == {
+            (0, ("elem", 1)): "remove",
+            (0, ("elem", 2)): "add",
+        }
+
+    def test_record_field_writes(self):
+        writes = diff_states((Record(st="I", d=0),), (Record(st="S", d=0),))
+        assert writes == {(0, "st"): "set"}
+
+
+class TestValueAt:
+    def test_leaf_and_marker_values(self):
+        state = ((3, 7), frozenset({1}), Multiset([("Inv", 0)]))
+        assert value_at(state, (0, 1)) == 7
+        assert value_at(state, (1, ("elem", 1))) is True
+        assert value_at(state, (1, ("elem", 2))) is False
+        assert value_at(state, (2, ("elem", ser(("Inv", 0))))) == 1
+        assert value_at(state, (2, ("size",))) == 1
+
+
+def counter_system(bound=3, coupled=False):
+    """Two independent counters (optionally coupled through a shared sum
+    invariant) — small enough to reason about the analysis exactly."""
+
+    def bump(position):
+        def guard(state, _p=position):
+            return state[_p] < bound
+
+        def apply(state, ctx, _p=position):
+            out = list(state)
+            out[_p] += 1
+            return [tuple(out)]
+
+        return Rule(f"bump{position}", guard, apply)
+
+    invariants = [Invariant("bounded", lambda s: s[0] <= bound and s[1] <= bound)]
+    if coupled:
+        invariants.append(Invariant("sum", lambda s: s[0] + s[1] < 2 * bound))
+    return TransitionSystem(
+        "counters",
+        [(0, 0)],
+        [bump(0), bump(1)],
+        invariants=invariants,
+    )
+
+
+class TestAnalysis:
+    def test_independent_counters(self):
+        analysis = get_footprint_analysis(counter_system())
+        assert analysis.complete
+        assert analysis.usable
+        # each bump reads and writes only its own slot
+        assert not (analysis.dependent[0] >> 1) & 1
+        fp = analysis.footprints[0]
+        assert fp.guard_reads == {(0,)}
+        assert fp.writes == {(0,): "set"}
+
+    def test_coupled_counters_are_visible(self):
+        # the sum invariant goes false at (2,3)/(3,2)-style states, so
+        # bumps near the boundary change an invariant value -> visible
+        analysis = get_footprint_analysis(counter_system(coupled=True))
+        assert analysis.always_visible_mask & 0b11
+
+    def test_analysis_cached_on_system(self):
+        system = counter_system()
+        assert get_footprint_analysis(system) is get_footprint_analysis(system)
+
+    def test_ample_on_independent_counters(self):
+        analysis = get_footprint_analysis(counter_system())
+        state = (0, 0)
+        visible = analysis.visible_mask_for([])
+        ample = analysis.ample(0b11, state, visible)
+        assert ample is not None
+        assert len(ample) == 1
+
+    def test_guard_atoms_learned(self):
+        analysis = get_footprint_analysis(counter_system())
+        fp = analysis.footprints[0]
+        assert fp.atoms == [(0,)]
+        assert fp.atom_truth[0].get(0) is True
+        assert fp.atom_truth[0].get(3) is False
+
+    def test_probe_limit_marks_incomplete(self):
+        analysis = FootprintAnalysis(counter_system(bound=30), 5, 64)
+        assert not analysis.complete

@@ -1,0 +1,72 @@
+"""Kernel-level partial-order reduction behaviour (checkpoint modes,
+counters, provisos); the verdict-equivalence matrix lives in
+``tests/integration/test_por_equivalence.py``."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mc.kernel import ExplorationKernel, ExplorationLimits, make_explorer
+from repro.mc.result import Verdict
+from repro.protocols.catalog import PROTOCOL_BUILDERS
+
+
+def moesi():
+    return PROTOCOL_BUILDERS["moesi"](2)
+
+
+class TestPorKernel:
+    def test_counters_surface_in_stats(self):
+        result = make_explorer("bfs", moesi(), partial_order=True).run()
+        assert result.verdict is Verdict.SUCCESS
+        assert result.stats.ample_states > 0
+        assert result.stats.por_rules_skipped >= result.stats.ample_states
+
+    def test_off_by_default(self):
+        result = make_explorer("bfs", moesi()).run()
+        assert result.stats.ample_states == 0
+        assert result.stats.por_rules_skipped == 0
+
+    def test_checkpoint_records_reduction_mode(self):
+        explorer = ExplorationKernel(
+            moesi(), partial_order=True, collect_checkpoint=True
+        )
+        explorer.run()
+        assert explorer.checkpoint is not None
+        assert explorer.checkpoint.reduction == "por"
+        assert explorer.checkpoint.ample_states > 0
+
+    def test_cross_mode_resume_refused(self):
+        system = moesi()
+        producer = ExplorationKernel(
+            system, partial_order=True, collect_checkpoint=True
+        )
+        producer.run()
+        with pytest.raises(ModelError, match="reduction"):
+            ExplorationKernel(
+                system, partial_order=False,
+                resume_from=producer.checkpoint,
+            ).run()
+
+    def test_same_mode_resume_accepted(self):
+        system = moesi()
+        producer = ExplorationKernel(
+            system, partial_order=True, collect_checkpoint=True
+        )
+        fresh = producer.run()
+        resumed = ExplorationKernel(
+            system, partial_order=True, resume_from=producer.checkpoint
+        ).run()
+        assert resumed.verdict is fresh.verdict
+        assert resumed.stats.states_visited == fresh.stats.states_visited
+        assert resumed.stats.ample_states == fresh.stats.ample_states
+
+    def test_truncated_reduced_run_is_unknown(self):
+        # POR under explicit kernel limits is allowed (the synthesis layer
+        # gates it off via partial_order_active instead); a truncated
+        # reduced run reports UNKNOWN exactly like a truncated full run.
+        result = ExplorationKernel(
+            moesi(), partial_order=True,
+            limits=ExplorationLimits(max_states=5),
+        ).run()
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.stats.truncated

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import SynthesisConfig, SynthesisEngine
+from repro.core import SynthesisEngine
 from repro.mc.bfs import BfsExplorer
 from repro.mc.result import Verdict
 from repro.mc.simulate import simulate

@@ -1,6 +1,5 @@
 """Tests for the complete (reference) MSI protocol."""
 
-import itertools
 
 import pytest
 

@@ -9,7 +9,6 @@ from repro.errors import SynthesisError
 from repro.mc.bfs import BfsExplorer
 from repro.mc.result import Verdict
 from repro.protocols.msi import (
-    defs,
     msi_large,
     msi_read_tiny,
     msi_skeleton,

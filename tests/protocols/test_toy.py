@@ -1,6 +1,5 @@
 """Tests for the Figure 2 toy system."""
 
-import pytest
 
 from repro.core.candidate import CandidateVector
 from repro.core.discovery import CandidateResolver, HoleRegistry

@@ -78,9 +78,13 @@ class TestSynth:
         ) == 0
         assert "threads backend, 1 worker(s)" in capsys.readouterr().out
 
-    def test_synth_backend_threads_zero_reaches_validation(self):
-        with pytest.raises(ValueError, match="threads"):
-            main(["synth", "figure2", "--backend", "threads", "--threads", "0"])
+    def test_synth_backend_threads_zero_rejected(self, capsys):
+        # The CLI validates worker counts itself now (exit 2 + message),
+        # instead of letting the engine raise a bare ValueError.
+        assert main(
+            ["synth", "figure2", "--backend", "threads", "--threads", "0"]
+        ) == 2
+        assert "--threads must be >= 1" in capsys.readouterr().err
 
     def test_synth_groups(self, capsys):
         assert main(["synth", "msi-tiny", "--groups"]) == 0

@@ -1,0 +1,49 @@
+"""Tests for repro.util.logging (previously the least-covered module)."""
+
+import logging
+
+from repro.util.logging import enable_verbose_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        assert get_logger("dist").name == "repro.dist"
+
+    def test_keeps_existing_repro_prefix(self):
+        assert get_logger("repro.mc").name == "repro.mc"
+        assert get_logger("repro").name == "repro"
+
+    def test_same_logger_object(self):
+        assert get_logger("core") is logging.getLogger("repro.core")
+
+
+class TestEnableVerboseLogging:
+    def teardown_method(self):
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+
+    def test_attaches_stream_handler_and_level(self):
+        enable_verbose_logging()
+        logger = logging.getLogger("repro")
+        assert logger.level == logging.INFO
+        assert any(
+            isinstance(h, logging.StreamHandler) for h in logger.handlers
+        )
+
+    def test_idempotent(self):
+        enable_verbose_logging()
+        enable_verbose_logging(logging.DEBUG)
+        logger = logging.getLogger("repro")
+        handlers = [
+            h for h in logger.handlers if isinstance(h, logging.StreamHandler)
+        ]
+        assert len(handlers) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_messages_flow_through(self, caplog):
+        enable_verbose_logging()
+        with caplog.at_level(logging.INFO, logger="repro"):
+            get_logger("test").info("footprints ready")
+        assert "footprints ready" in caplog.text
