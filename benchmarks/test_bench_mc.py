@@ -56,7 +56,14 @@ def update_bench_json(section: str, payload: dict) -> None:
         except (OSError, ValueError):
             data = {}
     # Drop pre-sectioned legacy top-level keys so the file self-cleans.
-    sections = ("single_candidate", "synthesis", "moesi", "german", "por")
+    sections = (
+        "single_candidate",
+        "synthesis",
+        "moesi",
+        "german",
+        "por",
+        "telemetry",
+    )
     data = {k: v for k, v in data.items() if k in sections}
     data[section] = payload
     data["cpu_count"] = os.cpu_count()
@@ -346,6 +353,100 @@ def test_por_reduction(benchmark):
     # correct system is where POR earns its keep.
     for row in synth_rows:
         assert row["states_reduction"] >= 0.01, row
+
+
+def test_telemetry_overhead(benchmark, tmp_path):
+    """Telemetry on/off on the single-candidate check (satellite of the
+    observability PR).
+
+    Single-threaded, same workload as the orbit-cache bench (MSI-small at
+    3 replicas, reference completion, cached canonicaliser), so the
+    ``telemetry-off`` row is directly comparable to the seed-recorded
+    ``single_candidate`` section — the tier-1 guard in
+    ``tests/obs/test_overhead_guard.py`` checks exactly that ratio.  The
+    ``telemetry-on`` row measures the full bundle: metrics registry,
+    kernel phase timings, and a JSONL trace on disk.
+
+    Correctness gates the measurement: both sides must visit identical
+    state counts (telemetry is pure observation).
+    """
+    from repro.mc.kernel import make_explorer
+    from repro.obs import Telemetry
+
+    _, (skel, system) = make_systems()
+    resolver = make_resolver(skel)
+    trials = 3
+
+    def timed_checks(telemetry=None):
+        results = []
+        start = time.perf_counter()
+        for _ in range(REPEATS):
+            explorer = make_explorer(
+                "bfs", system, resolver=resolver, telemetry=telemetry
+            )
+            results.append(explorer.run())
+        return time.perf_counter() - start, results
+
+    # Interleave off/on trials so drift (cache warmth, CPU frequency)
+    # hits both sides equally; keep the min of each.
+    off_seconds, on_seconds = float("inf"), float("inf")
+    off_results = on_results = None
+    tele = Telemetry.create(trace_path=str(tmp_path / "bench.jsonl"))
+    for trial in range(trials):
+        seconds, results = timed_checks()
+        if seconds < off_seconds:
+            off_seconds, off_results = seconds, results
+
+        def instrumented_run():
+            return timed_checks(tele)
+
+        if trial == trials - 1:
+            seconds, results = run_once(benchmark, instrumented_run)
+        else:
+            seconds, results = instrumented_run()
+        if seconds < on_seconds:
+            on_seconds, on_results = seconds, results
+    trace_events = tele.events_written
+    tele.close()
+
+    for off_res, on_res in zip(off_results, on_results):
+        assert off_res.verdict is Verdict.SUCCESS
+        assert on_res.verdict is Verdict.SUCCESS
+        assert on_res.stats.states_visited == off_res.stats.states_visited
+
+    overhead = on_seconds / off_seconds - 1.0 if off_seconds else 0.0
+    payload = {
+        "replicas": REPLICAS,
+        "repeats": REPEATS,
+        "trials": trials,
+        "skeleton": "msi-small",
+        "rows": [
+            {
+                "config": "telemetry-off",
+                "seconds": round(off_seconds, 4),
+                "states_per_check": off_results[0].stats.states_visited,
+            },
+            {
+                "config": "telemetry-on (metrics + jsonl trace)",
+                "seconds": round(on_seconds, 4),
+                "states_per_check": on_results[0].stats.states_visited,
+                "trace_events": trace_events,
+            },
+        ],
+        "overhead_on_vs_off": round(overhead, 4),
+    }
+    update_bench_json("telemetry", payload)
+    sys.__stdout__.write(
+        f"\nBENCH_mc.json updated: telemetry overhead {overhead:+.1%} "
+        f"({off_seconds:.3f}s off -> {on_seconds:.3f}s on over "
+        f"{REPEATS} checks)\n"
+    )
+    sys.__stdout__.flush()
+    benchmark.extra_info.update(payload)
+
+    # Tracing every span/phase of a sub-second check is allowed to cost
+    # real percentage points; it must not multiply the run.
+    assert on_seconds < off_seconds * 2.0
 
 
 @pytest.mark.skipif(not small_enabled(), reason="VERC3_BENCH_SMALL=0")

@@ -31,6 +31,7 @@ in ``docs/experiments.md``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
@@ -48,6 +49,7 @@ from repro.experiments import (
     preset_names,
 )
 from repro.mc.kernel import EXPLORER_STRATEGIES, ExplorationLimits, make_explorer
+from repro.obs import Telemetry, load_events, render_stats
 from repro.protocols.catalog import (
     PROTOCOL_BUILDERS,
     PROTOCOL_CATALOG,
@@ -61,6 +63,87 @@ PROTOCOLS: Dict[str, Callable] = PROTOCOL_BUILDERS
 
 #: skeletons: name -> builder(n) returning a TransitionSystem
 SKELETONS: Dict[str, Callable] = SKELETON_BUILDERS
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser,
+                         optional_trace_value: bool = False) -> None:
+    """The shared observability flag group (verify / synth / matrix)."""
+    group = parser.add_argument_group("observability")
+    if optional_trace_value:
+        group.add_argument(
+            "--trace", metavar="FILE", nargs="?", const="", default=None,
+            help="write a structured JSONL trace; with no FILE, the trace "
+                 "lands at <out-dir>/trace.jsonl.  Summarise it with "
+                 "'repro stats FILE'",
+        )
+    else:
+        group.add_argument(
+            "--trace", metavar="FILE", default=None,
+            help="write a structured JSONL trace of the run to FILE "
+                 "(summarise it with 'repro stats FILE')",
+        )
+    group.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the run's aggregated metrics registry as JSON to FILE",
+    )
+    progress = group.add_mutually_exclusive_group()
+    progress.add_argument(
+        "--progress", action="store_true",
+        help="emit a throttled live progress line on stderr "
+             "(default: on when stderr is a TTY)",
+    )
+    progress.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the live progress line",
+    )
+    group.add_argument(
+        "--verbose", action="store_true",
+        help="enable debug logging (repro.util.logging)",
+    )
+
+
+def _progress_requested(args: argparse.Namespace) -> bool:
+    if args.no_progress:
+        return False
+    return bool(args.progress) or sys.stderr.isatty()
+
+
+def _build_telemetry(
+    args: argparse.Namespace, default_trace: Optional[str] = None
+) -> Optional[Telemetry]:
+    """The CLI-owned telemetry bundle, or None when every switch is off.
+
+    ``--trace`` with no value (matrix) arrives as ``""`` and resolves to
+    ``default_trace``.  ``--verbose`` routes through
+    :meth:`Telemetry.create`, which is the logging switchboard; when no
+    telemetry is active it is applied here so the flag still works alone.
+    """
+    trace = args.trace
+    if trace == "":
+        trace = default_trace
+    progress = _progress_requested(args)
+    if trace is None and args.metrics_out is None and not progress:
+        if args.verbose:
+            from repro.util.logging import enable_verbose_logging
+
+            enable_verbose_logging()
+        return None
+    return Telemetry.create(
+        trace_path=trace,
+        progress=progress,
+        stream=sys.stderr,
+        verbose=args.verbose,
+    )
+
+
+def _finish_telemetry(tele: Optional[Telemetry],
+                      args: argparse.Namespace) -> None:
+    """Write ``--metrics-out`` and close the CLI-owned bundle."""
+    if tele is None:
+        return
+    if args.metrics_out is not None:
+        tele.write_metrics(args.metrics_out)
+    tele.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicitly disable partial-order reduction (the default)",
     )
     verify.add_argument("--max-states", type=int, default=None)
+    _add_telemetry_flags(verify)
 
     synth = sub.add_parser("synth", help="synthesise holes in a skeleton")
     synth.add_argument("skeleton", choices=sorted(SKELETONS))
@@ -142,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--max-evaluations", type=int, default=None)
     synth.add_argument("--groups", action="store_true",
                        help="fingerprint solutions and print behavioural groups")
+    _add_telemetry_flags(synth)
 
     matrix = sub.add_parser(
         "matrix",
@@ -185,6 +270,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-presets", action="store_true",
         help="print the built-in presets and exit",
     )
+    _add_telemetry_flags(matrix, optional_trace_value=True)
+
+    stats = sub.add_parser(
+        "stats",
+        help="summarise a trace JSONL file (per-span totals, attribution)",
+        description="Aggregate a --trace JSONL file: per-span and "
+                    "per-phase counts, total/mean durations, and the "
+                    "fraction of the run attributed to named work.",
+    )
+    stats.add_argument("trace", metavar="TRACE.jsonl",
+                       help="a trace file written by --trace")
 
     sub.add_parser(
         "list",
@@ -206,9 +302,39 @@ def cmd_verify(args: argparse.Namespace) -> int:
     )
     strategy = args.explorer or ("dfs" if args.dfs else "bfs")
     limits = ExplorationLimits(max_states=args.max_states)
-    result = make_explorer(
-        strategy, system, limits=limits, partial_order=args.por
-    ).run()
+    tele = _build_telemetry(args)
+    explorer = make_explorer(
+        strategy, system, limits=limits, partial_order=args.por,
+        telemetry=tele,
+    )
+    if tele is not None:
+        with tele.span(
+            "verify", protocol=args.protocol, replicas=args.replicas,
+            explorer=strategy,
+        ) as span:
+            result = explorer.run()
+            span.set(
+                verdict=result.verdict.value,
+                states=result.stats.states_visited,
+            )
+        metrics = tele.metrics
+        metrics.counter(
+            "mc_states_visited", "states interned across candidate runs"
+        ).inc(result.stats.states_visited)
+        metrics.counter(
+            "mc_transitions_fired", "rule firings across candidate runs"
+        ).inc(result.stats.transitions_fired)
+        metrics.gauge(
+            "mc_peak_states", "largest single-run visited-state count"
+        ).track_max(result.stats.states_visited)
+        if tele.progress is not None:
+            tele.progress.tick(
+                states=result.stats.states_visited,
+                verdict=result.verdict.value,
+            )
+        _finish_telemetry(tele, args)
+    else:
+        result = explorer.run()
     print(f"{system.name}: {result.summary()}")
     if result.trace is not None:
         formatter = format_state if args.protocol == "msi" else repr
@@ -230,6 +356,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
             "conflicting flags: --refined records pruning patterns, which "
             "--naive disables"
         )
+    tele = _build_telemetry(args)
     config = SynthesisConfig(
         pruning=not args.naive,
         generalise_conflicts=not args.no_generalise,
@@ -240,24 +367,47 @@ def cmd_synth(args: argparse.Namespace) -> int:
         compute_fingerprints=args.groups,
         explorer=args.explorer,
         partial_order=args.por,
+        # The config mirrors the CLI telemetry so worker *processes* (which
+        # only see the config) open their own per-worker sinks.
+        telemetry=tele is not None,
+        trace_path=args.trace,
+        progress=_progress_requested(args),
     )
     backend = args.backend
     if backend is None:
         backend = "threads" if (args.threads or 1) > 1 else "sequential"
-    if backend == "processes":
-        report = DistributedSynthesisEngine(
-            SystemSpec(args.skeleton, args.replicas), config,
-            workers=args.workers,
-        ).run()
-    elif backend == "threads":
-        system = SKELETONS[args.skeleton](args.replicas)
-        report = ParallelSynthesisEngine(
-            system, config,
-            threads=args.threads if args.threads is not None else 4,
-        ).run()
-    else:
-        system = SKELETONS[args.skeleton](args.replicas)
-        report = SynthesisEngine(system, config).run()
+    root = (
+        tele.span("synth", skeleton=args.skeleton, replicas=args.replicas,
+                  backend=backend)
+        if tele is not None
+        else None
+    )
+    try:
+        if root is not None:
+            root.__enter__()
+        if backend == "processes":
+            report = DistributedSynthesisEngine(
+                SystemSpec(args.skeleton, args.replicas), config,
+                workers=args.workers, telemetry=tele,
+            ).run()
+        elif backend == "threads":
+            system = SKELETONS[args.skeleton](args.replicas)
+            report = ParallelSynthesisEngine(
+                system, config,
+                threads=args.threads if args.threads is not None else 4,
+                telemetry=tele,
+            ).run()
+        else:
+            system = SKELETONS[args.skeleton](args.replicas)
+            report = SynthesisEngine(system, config, telemetry=tele).run()
+        if root is not None:
+            root.set(
+                evaluated=report.evaluated, solutions=len(report.solutions)
+            )
+    finally:
+        if root is not None:
+            root.__exit__(None, None, None)
+        _finish_telemetry(tele, args)
     print(report.summary())
     if args.groups:
         print()
@@ -284,10 +434,29 @@ def cmd_matrix(args: argparse.Namespace) -> int:
             return 2
         force_por = True if args.por else (False if args.no_por else None)
         out_dir = args.out or f"matrix-runs/{spec.name}"
+        if args.trace == "":
+            # The default trace lands inside the output directory, whose
+            # creation the runner normally owns — the sink opens first.
+            os.makedirs(out_dir, exist_ok=True)
+        tele = _build_telemetry(args, default_trace=f"{out_dir}/trace.jsonl")
         runner = MatrixRunner(
-            spec, out_dir, fresh=args.fresh, log=print, force_por=force_por
+            spec, out_dir, fresh=args.fresh, log=print, force_por=force_por,
+            telemetry=tele,
         )
-        result = runner.run()
+        try:
+            if tele is not None:
+                with tele.span(
+                    "matrix", matrix=spec.name, cells=len(runner.cells)
+                ) as span:
+                    result = runner.run()
+                    span.set(
+                        executed=result.executed, resumed=result.resumed,
+                        failed=len(result.failed),
+                    )
+            else:
+                result = runner.run()
+        finally:
+            _finish_telemetry(tele, args)
     except ExperimentError as exc:
         print(f"matrix: {exc}", file=sys.stderr)
         return 2
@@ -297,6 +466,20 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     print(result.summary())
     print(f"artifacts: {out_dir}/journal.jsonl, results.json, report.md")
     return 0 if not result.failed else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``stats``: aggregate and render one trace JSONL file."""
+    try:
+        events = load_events(args.trace)
+    except OSError as exc:
+        raise CliError(f"cannot read trace: {exc}") from None
+    except ValueError as exc:
+        raise CliError(f"{args.trace}: {exc}") from None
+    if not events:
+        raise CliError(f"{args.trace}: empty trace")
+    print(render_stats(events, source=args.trace))
+    return 0
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -326,6 +509,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "verify": cmd_verify,
         "synth": cmd_synth,
         "matrix": cmd_matrix,
+        "stats": cmd_stats,
         "list": cmd_list,
     }
     try:

@@ -25,6 +25,7 @@ detected arithmetically), and no patterns are kept.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -52,10 +53,35 @@ from repro.mc.kernel import (
 from repro.mc.hashing import fingerprint_state_set
 from repro.mc.result import VerificationResult
 from repro.mc.system import TransitionSystem
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.util.timing import Stopwatch
 
 FAIL_TAG = "failure"
 SUCCESS_TAG = "success"
+
+
+def _candidate_label(vector: CandidateVector) -> str:
+    """Compact trace label for a candidate: digits, ``*`` for wildcards."""
+    return ",".join(
+        "*" if entry is WILDCARD else str(entry) for entry in vector.entries
+    )
+
+
+def resolve_telemetry(config: "SynthesisConfig", telemetry):
+    """Decide an engine's telemetry once, at construction.
+
+    Returns ``(telemetry, owns)``: a caller-supplied bundle (the CLI's,
+    or the matrix runner's) is used as-is and left open; otherwise one
+    is built when the config asks for it — and the engine owns it, i.e.
+    must close it when the run ends.  With neither, the shared
+    :data:`~repro.obs.NULL_TELEMETRY` keeps every instrumented call
+    site a no-op.
+    """
+    if telemetry is not None:
+        return telemetry, False
+    if config.telemetry_active:
+        return Telemetry.from_config(config), True
+    return NULL_TELEMETRY, False
 
 
 @dataclass
@@ -120,6 +146,18 @@ class SynthesisConfig:
             at these scales is states visited (memory and the large-model
             trajectory), not wall-clock; opt in with ``--por`` and ablate
             back with ``--no-por``.
+        telemetry: enable the observability layer (:mod:`repro.obs`) —
+            metrics registry, trace spans, kernel phase attribution —
+            even without a trace file (metrics land in the report and
+            ``--metrics-out``).  Off by default: the disabled path costs
+            a setup-time decision plus one predicate per state pop.
+        trace_path: write structured trace events (JSONL) to this path;
+            implies telemetry.  Workers of the process backend write to
+            ``<trace_path>.worker-<id>``.
+        progress: emit throttled live progress lines to stderr (and
+            ``progress`` trace events); implies telemetry.
+        progress_interval: minimum seconds between progress emissions
+            (default 1.0; must be positive).
     """
 
     pruning: bool = True
@@ -139,6 +177,10 @@ class SynthesisConfig:
     record_traces: bool = True
     explorer: str = "bfs"
     partial_order: bool = False
+    telemetry: bool = False
+    trace_path: Optional[str] = None
+    progress: bool = False
+    progress_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if self.explorer not in EXPLORER_STRATEGIES:
@@ -164,6 +206,35 @@ class SynthesisConfig:
                 f"prefix_cache_capacity must be positive, "
                 f"got {self.prefix_cache_capacity}"
             )
+        for knob in ("telemetry", "progress"):
+            if not isinstance(getattr(self, knob), bool):
+                raise SynthesisError(
+                    f"{knob} must be a bool, got {getattr(self, knob)!r}"
+                )
+        if self.trace_path is not None and not isinstance(self.trace_path, str):
+            raise SynthesisError(
+                f"trace_path must be a string path or None, "
+                f"got {self.trace_path!r}"
+            )
+        if (
+            not isinstance(self.progress_interval, (int, float))
+            or isinstance(self.progress_interval, bool)
+            or not self.progress_interval > 0
+        ):
+            raise SynthesisError(
+                f"progress_interval must be a positive number, "
+                f"got {self.progress_interval!r}"
+            )
+
+    @property
+    def telemetry_active(self) -> bool:
+        """Whether any observability feature is requested.
+
+        A trace path or progress request implies telemetry — there is
+        nothing to write otherwise — so the engines key their setup-time
+        decision off this property, not the raw flag.
+        """
+        return self.telemetry or self.trace_path is not None or self.progress
 
     @property
     def _limits_unset(self) -> bool:
@@ -324,10 +395,40 @@ class SynthesisCore:
         observer: Optional[SynthesisObserver] = None,
         registry: Optional[HoleRegistry] = None,
         prefix_cache: Optional[PrefixCache] = None,
+        telemetry=None,
     ) -> None:
         self.system = system
         self.config = config
         self.observer = observer or SynthesisObserver()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: metric handles are bound once here — the hot paths below do a
+        #: ``None`` check and an attribute bump, never a registry lookup
+        self._metric_handles = None
+        if self.telemetry.enabled and self.telemetry.metrics is not None:
+            metrics = self.telemetry.metrics
+            self._metric_handles = {
+                "evaluated": metrics.counter(
+                    "synth_candidates_evaluated",
+                    "candidates dispatched to the model checker"),
+                "solutions": metrics.counter(
+                    "synth_solutions_found", "correct completions found"),
+                "states": metrics.counter(
+                    "mc_states_visited",
+                    "states interned across candidate runs"),
+                "transitions": metrics.counter(
+                    "mc_transitions_fired",
+                    "rule firings across candidate runs"),
+                "peak": metrics.gauge(
+                    "mc_peak_states",
+                    "largest single-run visited-state count"),
+                "check_seconds": metrics.histogram(
+                    "mc_check_seconds", "per-candidate model-check time"),
+                "verdicts": {
+                    name: metrics.counter(
+                        "synth_verdicts", "verdicts by kind", verdict=name)
+                    for name in ("success", "failure", "unknown")
+                },
+            }
         self.registry = registry if registry is not None else HoleRegistry()
         self.fail_table = PruningTable(subsumption=config.subsumption)
         self.success_table = PruningTable(subsumption=config.subsumption)
@@ -353,6 +454,9 @@ class SynthesisCore:
         #: worker deltas): enabled firings deferred / reduced expansions
         self.por_rules_skipped = 0
         self.ample_states = 0
+        #: largest visited-state count of any single candidate run (the
+        #: high-water mark the matrix journal and report surface)
+        self.peak_states = 0
         self.inherent_failure = False
         self.inherent_failure_message = ""
         self.stopped_early = False
@@ -369,6 +473,22 @@ class SynthesisCore:
 
     def evaluate(self, vector: CandidateVector) -> Tuple[VerificationResult, ExplorationKernel]:
         """Model check one candidate, resuming from the prefix cache when possible."""
+        tele = self.telemetry
+        if not tele.enabled:
+            return self._evaluate_inner(vector)
+        begin = time.perf_counter()
+        with tele.span("evaluate", candidate=_candidate_label(vector)) as span:
+            result, explorer = self._evaluate_inner(vector)
+            span.set(
+                verdict=result.verdict.value,
+                states=result.stats.states_visited,
+            )
+        handles = self._metric_handles
+        if handles is not None:
+            handles["check_seconds"].observe(time.perf_counter() - begin)
+        return result, explorer
+
+    def _evaluate_inner(self, vector: CandidateVector) -> Tuple[VerificationResult, ExplorationKernel]:
         cache = self.prefix_cache
         resume: Optional[ExplorationCheckpoint] = None
         collect = False
@@ -392,6 +512,7 @@ class SynthesisCore:
             resume_from=resume,
             collect_checkpoint=collect,
             partial_order=self.config.partial_order_active,
+            telemetry=self.telemetry if self.telemetry.enabled else None,
         )
         result = explorer.run()
         if collect:
@@ -444,18 +565,26 @@ class SynthesisCore:
         resume: Optional[ExplorationCheckpoint],
         cache: PrefixCache,
     ) -> Optional[ExplorationCheckpoint]:
-        explorer = make_explorer(
-            self.config.explorer,
-            self.system,
-            resolver=self.make_resolver(CandidateVector.from_digits(prefix)),
-            limits=self.config.limits,
-            record_traces=self.config.record_traces,
-            track_hole_paths=self.config.refined_patterns,
-            resume_from=resume,
-            collect_checkpoint=True,
-            partial_order=self.config.partial_order_active,
+        tele = self.telemetry
+        span = (
+            tele.span("prefix_build", prefix=len(prefix))
+            if tele.enabled
+            else nullcontext()
         )
-        explorer.run()
+        with span:
+            explorer = make_explorer(
+                self.config.explorer,
+                self.system,
+                resolver=self.make_resolver(CandidateVector.from_digits(prefix)),
+                limits=self.config.limits,
+                record_traces=self.config.record_traces,
+                track_hole_paths=self.config.refined_patterns,
+                resume_from=resume,
+                collect_checkpoint=True,
+                partial_order=self.config.partial_order_active,
+                telemetry=tele if tele.enabled else None,
+            )
+            explorer.run()
         cache.store(prefix, explorer.checkpoint)
         cache.note_build()
         return explorer.checkpoint
@@ -531,6 +660,24 @@ class SynthesisCore:
         report.partial_order = self.config.partial_order_active
         report.por_rules_skipped = self.por_rules_skipped
         report.ample_states = self.ample_states
+        report.peak_states = self.peak_states
+        tele = self.telemetry
+        report.telemetry_enabled = tele.enabled
+        if tele.enabled:
+            report.trace_path = tele.trace_path
+            report.trace_events = tele.events_written
+            if self._metric_handles is not None and self.prefix_cache is not None:
+                own_hits, own_builds, own_reused = self.prefix_cache.counters()
+                metrics = tele.metrics
+                metrics.gauge(
+                    "prefix_cache_hits", "resumed candidate evaluations"
+                ).track_max(own_hits)
+                metrics.gauge(
+                    "prefix_cache_builds", "prefix explorations performed"
+                ).track_max(own_builds)
+                metrics.gauge(
+                    "prefix_states_reused", "states inherited, not re-explored"
+                ).track_max(own_reused)
         return report
 
     def handle_result(
@@ -544,6 +691,26 @@ class SynthesisCore:
         self.verdict_counts[result.verdict.value] += 1
         self.por_rules_skipped += result.stats.por_rules_skipped
         self.ample_states += result.stats.ample_states
+        if result.stats.states_visited > self.peak_states:
+            self.peak_states = result.stats.states_visited
+        handles = self._metric_handles
+        if handles is not None:
+            handles["evaluated"].inc()
+            handles["verdicts"][result.verdict.value].inc()
+            handles["states"].inc(result.stats.states_visited)
+            handles["transitions"].inc(result.stats.transitions_fired)
+            handles["peak"].track_max(result.stats.states_visited)
+        progress = self.telemetry.progress
+        if progress is not None:
+            progress.tick(
+                evaluated=self.evaluated,
+                solutions=len(self.solutions),
+                patterns=len(self.fail_table),
+                peak_states=self.peak_states,
+                cache_hits=(
+                    self.prefix_cache.hits if self.prefix_cache is not None else 0
+                ),
+            )
         vector = CandidateVector.from_digits(digits)
         holes = self.registry.holes
         self.observer.on_run(run_index, vector, result, holes)
@@ -589,7 +756,10 @@ class SynthesisCore:
         self, digits: Tuple[int, ...], result: VerificationResult
     ) -> PruningPattern:
         if self.config.generalise_active:
-            pattern = generalise_failure(self.system, self.registry, digits, result)
+            pattern = generalise_failure(
+                self.system, self.registry, digits, result,
+                telemetry=self.telemetry if self.telemetry.enabled else None,
+            )
             if pattern is not None:
                 return pattern
         if self.config.refined_patterns and result.failure_holes is not None:
@@ -694,10 +864,16 @@ class SynthesisEngine:
         system: TransitionSystem,
         config: Optional[SynthesisConfig] = None,
         observer: Optional[SynthesisObserver] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.system = system
         self.config = config or SynthesisConfig()
-        self.core = SynthesisCore(system, self.config, observer)
+        self.telemetry, self._owns_telemetry = resolve_telemetry(
+            self.config, telemetry
+        )
+        self.core = SynthesisCore(
+            system, self.config, observer, telemetry=self.telemetry
+        )
 
     def run(self) -> SynthesisReport:
         """Run the full synthesis procedure and return the report."""
@@ -711,13 +887,20 @@ class SynthesisEngine:
             explorer=config.explorer,
         )
         watch = Stopwatch.started()
-        try:
-            core.run_initial()
-            self._run_passes(report)
-        except _StopSynthesis:
-            pass
+        with self.telemetry.span(
+            "synthesis", system=self.system.name, backend="sequential"
+        ) as span:
+            try:
+                core.run_initial()
+                self._run_passes(report)
+            except _StopSynthesis:
+                pass
+            span.set(evaluated=core.evaluated, solutions=len(core.solutions))
         report.elapsed_seconds = watch.elapsed
-        return core.finalize_report(report)
+        report = core.finalize_report(report)
+        if self._owns_telemetry:
+            self.telemetry.close()
+        return report
 
     def _run_passes(self, report: SynthesisReport) -> None:
         core = self.core
@@ -738,7 +921,8 @@ class SynthesisEngine:
             core.observer.on_pass_started(report.passes, holes)
             radices = [hole.arity for hole in holes]
             walker = _PassWalker(core, radices)
-            self._walk_pass(walker, first_new, report)
+            with self.telemetry.span("pass", index=report.passes, holes=len(holes)):
+                self._walk_pass(walker, first_new, report)
             counters = walker.counters
             report.covered += counters.covered
             report.pruned_failure += counters.skipped.get(FAIL_TAG, 0)

@@ -40,9 +40,11 @@ from repro.core.engine import (
     SynthesisObserver,
     _PassWalker,
     _StopSynthesis,
+    resolve_telemetry,
 )
 from repro.core.report import SynthesisReport
 from repro.mc.system import TransitionSystem
+from repro.obs import Telemetry
 from repro.util.itertools2 import product_size, split_ranges
 from repro.util.timing import Stopwatch
 
@@ -56,13 +58,19 @@ class ParallelSynthesisEngine:
         config: Optional[SynthesisConfig] = None,
         threads: int = 4,
         observer: Optional[SynthesisObserver] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if threads < 1:
             raise ValueError("threads must be >= 1")
         self.system = system
         self.config = config or SynthesisConfig()
         self.threads = threads
-        self.core = SynthesisCore(system, self.config, observer)
+        self.telemetry, self._owns_telemetry = resolve_telemetry(
+            self.config, telemetry
+        )
+        self.core = SynthesisCore(
+            system, self.config, observer, telemetry=self.telemetry
+        )
         self._lock = threading.Lock()
         self._stop = threading.Event()
 
@@ -77,14 +85,31 @@ class ParallelSynthesisEngine:
             explorer=self.config.explorer,
         )
         watch = Stopwatch.started()
-        try:
-            core.run_initial()
-        except _StopSynthesis:
-            self._stop.set()
-        if not self._stop.is_set():
-            self._run_passes(report)
+        tele = self.telemetry
+        with tele.span(
+            "synthesis", system=self.system.name, backend="threads",
+            threads=self.threads,
+        ) as span:
+            if tele.enabled:
+                # Worker threads start with empty span stacks; parent
+                # their evaluate spans under the run's root span.
+                tele.tracer.default_parent = span.span_id
+            try:
+                core.run_initial()
+            except _StopSynthesis:
+                self._stop.set()
+            if not self._stop.is_set():
+                self._run_passes(report)
+            if tele.enabled:
+                tele.tracer.default_parent = None
+                span.set(
+                    evaluated=core.evaluated, solutions=len(core.solutions)
+                )
         report.elapsed_seconds = watch.elapsed
-        return core.finalize_report(report)
+        report = core.finalize_report(report)
+        if self._owns_telemetry:
+            tele.close()
+        return report
 
     def _run_passes(self, report: SynthesisReport) -> None:
         core = self.core

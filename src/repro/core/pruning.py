@@ -275,8 +275,14 @@ def generalise_failure(
     registry,
     digits: Sequence[int],
     result: VerificationResult,
+    telemetry=None,
 ) -> Optional[PruningPattern]:
     """Minimal-conflict pattern for a failed candidate, via trace replay.
+
+    ``telemetry`` (a ``repro.obs.Telemetry``, optional) wraps the replay
+    in a ``generalise`` trace span recording whether a conflict was
+    found and how narrow it is — replay cost is one of the phases the
+    ``stats`` subcommand attributes.
 
     Soundness is the paper's Section II argument made exact: the
     counterexample trace is replayed firing by firing under the failed
@@ -299,6 +305,23 @@ def generalise_failure(
     trace executed no holes at all, so the skeleton fails identically
     under every assignment (the engine reports an inherent failure).
     """
+    if telemetry is not None and telemetry.enabled:
+        with telemetry.span("generalise") as span:
+            pattern = _generalise_failure(system, registry, digits, result)
+            span.set(
+                generalised=pattern is not None,
+                width=len(pattern.constraints) if pattern is not None else None,
+            )
+            return pattern
+    return _generalise_failure(system, registry, digits, result)
+
+
+def _generalise_failure(
+    system,
+    registry,
+    digits: Sequence[int],
+    result: VerificationResult,
+) -> Optional[PruningPattern]:
     trace = result.trace
     if trace is None or result.failure_kind is FailureKind.COVERAGE:
         return None

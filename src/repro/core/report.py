@@ -88,6 +88,14 @@ class SynthesisReport:
     partial_order: bool = False
     por_rules_skipped: int = 0
     ample_states: int = 0
+    #: largest visited-state count of any single candidate run — the
+    #: run's memory high-water mark (surfaced in the matrix journal)
+    peak_states: int = 0
+    #: observability layer (see repro.obs): whether telemetry ran, where
+    #: the trace landed (None = no trace file), events emitted so far
+    telemetry_enabled: bool = False
+    trace_path: Optional[str] = None
+    trace_events: int = 0
     inherent_failure: bool = False
     inherent_failure_message: str = ""
     stopped_early: bool = False
@@ -181,6 +189,17 @@ class SynthesisReport:
                 f"prefix cache:      {self.prefix_cache_hits:,} resumed runs, "
                 f"{self.prefix_states_reused:,} states reused "
                 f"({self.prefix_cache_builds:,} checkpoint builds)",
+            )
+        if self.telemetry_enabled:
+            where = (
+                f"trace {self.trace_path} ({self.trace_events:,} events)"
+                if self.trace_path
+                else f"{self.trace_events:,} events (no trace file)"
+            )
+            lines.insert(
+                -1,
+                f"telemetry:         {where}, "
+                f"peak states {self.peak_states:,}",
             )
         if self.inherent_failure:
             lines.append(f"INHERENT FAILURE:  {self.inherent_failure_message}")

@@ -47,6 +47,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import time
 from collections import deque
 from dataclasses import replace
 from typing import Deque, Dict, List, Optional, Tuple, Union
@@ -58,6 +59,7 @@ from repro.core.engine import (
     SynthesisCore,
     SynthesisObserver,
     _StopSynthesis,
+    resolve_telemetry,
 )
 from repro.core.pruning import PruningPattern
 from repro.core.report import SynthesisReport
@@ -72,6 +74,7 @@ from repro.dist.messages import (
 )
 from repro.dist.worker import worker_main
 from repro.errors import SynthesisError
+from repro.obs import Telemetry
 from repro.util.itertools2 import product_size
 from repro.util.timing import Stopwatch
 
@@ -134,6 +137,7 @@ class DistributedSynthesisEngine:
         min_batch_size: int = 16,
         max_inflight: int = 2,
         start_method: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if isinstance(spec, str):
             spec = SystemSpec(spec)
@@ -160,7 +164,15 @@ class DistributedSynthesisEngine:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
         self._start_method = start_method
-        self.core = SynthesisCore(self.system, self.config, observer)
+        # Workers derive their own telemetry from the shipped config
+        # (per-worker sinks); this bundle is the coordinator's, and the
+        # aggregation point for the metric deltas batches bring home.
+        self.telemetry, self._owns_telemetry = resolve_telemetry(
+            self.config, telemetry
+        )
+        self.core = SynthesisCore(
+            self.system, self.config, observer, telemetry=self.telemetry
+        )
         self._processes: List[multiprocessing.process.BaseProcess] = []
         self._task_queues: List = []
         self._results = None
@@ -246,15 +258,27 @@ class DistributedSynthesisEngine:
             explorer=self.config.explorer,
         )
         watch = Stopwatch.started()
-        try:
-            core.run_initial()
-            self._run_passes(report)
-        except _StopSynthesis:
-            pass
-        finally:
-            self._shutdown_workers()
+        tele = self.telemetry
+        with tele.span(
+            "synthesis", system=self.system.name, backend="processes",
+            workers=self.workers,
+        ) as span:
+            try:
+                core.run_initial()
+                self._run_passes(report)
+            except _StopSynthesis:
+                pass
+            finally:
+                self._shutdown_workers()
+            if tele.enabled:
+                span.set(
+                    evaluated=core.evaluated, solutions=len(core.solutions)
+                )
         report.elapsed_seconds = watch.elapsed
-        return core.finalize_report(report)
+        report = core.finalize_report(report)
+        if self._owns_telemetry:
+            tele.close()
+        return report
 
     def _run_passes(self, report: SynthesisReport) -> None:
         core = self.core
@@ -273,7 +297,10 @@ class DistributedSynthesisEngine:
             previous_count = len(holes)
             report.passes += 1
             core.observer.on_pass_started(report.passes, holes)
-            self._run_pass(report, holes, first_new)
+            with self.telemetry.span(
+                "pass", index=report.passes, holes=len(holes)
+            ):
+                self._run_pass(report, holes, first_new)
 
     def _run_pass(self, report: SynthesisReport, holes, first_new: int) -> None:
         core = self.core
@@ -347,8 +374,21 @@ class DistributedSynthesisEngine:
             for _ in range(self.max_inflight):
                 dispatch(worker_id)
 
+        tele = self.telemetry
+        instrumented = tele.enabled
+        tick = (
+            tele.progress.tick
+            if instrumented and tele.progress is not None
+            else None
+        )
+        wait_seconds = 0.0
         while outstanding:
-            result = self._next_result(inflight)
+            if instrumented:
+                wait_begin = time.perf_counter()
+                result = self._next_result(inflight)
+                wait_seconds += time.perf_counter() - wait_begin
+            else:
+                result = self._next_result(inflight)
             outstanding -= 1
             if isinstance(result, WorkerCrash):
                 raise SynthesisError(
@@ -378,8 +418,20 @@ class DistributedSynthesisEngine:
                 and merged_solution_count() >= config.solution_limit
             ):
                 stop_dispatch = True
+            if tick is not None:
+                tick(
+                    evaluated=core.evaluated,
+                    solutions=merged_solution_count(),
+                    patterns=len(core.fail_table),
+                    peak_states=core.peak_states,
+                )
             if not stop_dispatch:
                 dispatch(result.worker_id)
+
+        if instrumented and wait_seconds:
+            # Coordinator idle time spent blocked on worker results this
+            # pass — the distributed analogue of a kernel phase.
+            tele.phase("wait_workers", wait_seconds, index=report.passes)
 
         self._merge_pass_end(
             holes,
@@ -422,6 +474,18 @@ class DistributedSynthesisEngine:
         core.merged_prefix_counters[2] += result.prefix_states_reused
         core.por_rules_skipped += result.por_rules_skipped
         core.ample_states += result.ample_states
+        if result.peak_states > core.peak_states:
+            core.peak_states = result.peak_states
+        if (
+            result.metrics
+            and core.telemetry.enabled
+            and core.telemetry.metrics is not None
+        ):
+            # Fold the worker's per-batch registry delta into the
+            # coordinator's registry.  Counter/histogram merges commute,
+            # gauges take the max, so the aggregate is independent of
+            # batch completion order.
+            core.telemetry.metrics.merge(result.metrics)
         for verdict, count in result.verdict_counts.items():
             core.verdict_counts[verdict] = (
                 core.verdict_counts.get(verdict, 0) + count

@@ -156,6 +156,14 @@ class BatchResult:
     #: partial-order reduction deltas: firings deferred / reduced states
     por_rules_skipped: int = 0
     ample_states: int = 0
+    #: largest single-run visited-state count seen by this worker so far
+    #: (merged by max on the coordinator — a high-water mark, not a delta)
+    peak_states: int = 0
+    #: per-batch metrics-registry delta (``repro.obs.metrics.diff_snapshots``
+    #: output; empty dict when the worker runs without telemetry) — the
+    #: coordinator folds it into its own registry, so aggregated metrics
+    #: match a single-process run
+    metrics: Dict[str, dict] = field(default_factory=dict)
     budget_exhausted: bool = False
     inherent_failure: bool = False
     inherent_failure_message: str = ""

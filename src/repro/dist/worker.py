@@ -50,6 +50,8 @@ from repro.dist.messages import (
 )
 from repro.errors import SynthesisError
 from repro.mc.system import TransitionSystem
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.metrics import diff_snapshots
 
 
 class WorkerHoleRegistry(HoleRegistry):
@@ -120,9 +122,12 @@ class BatchRunner:
     """
 
     def __init__(self, system: TransitionSystem, config: SynthesisConfig,
-                 worker_id: int = -1) -> None:
+                 worker_id: int = -1, telemetry=None) -> None:
         self.system = system
         self.worker_id = worker_id
+        #: the worker's own telemetry bundle (per-worker trace sink; the
+        #: coordinator aggregates metrics from the per-batch deltas)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._config = replace(config, solution_limit=None, max_evaluations=None)
         self.core: Optional[SynthesisCore] = None
         self._radices: Tuple[int, ...] = ()
@@ -156,6 +161,7 @@ class BatchRunner:
             replace(self._config),
             registry=WorkerHoleRegistry(msg.hole_specs),
             prefix_cache=self._prefix_cache,
+            telemetry=self.telemetry,
         )
         for constraints in msg.fail_patterns:
             core.fail_table.add(PruningPattern(constraints))
@@ -194,14 +200,37 @@ class BatchRunner:
         else:
             core.config.max_evaluations = None
 
+        tele = self.telemetry
+        metrics_before = (
+            tele.metrics.snapshot()
+            if tele.enabled and tele.metrics is not None
+            else None
+        )
         walker = _PassWalker(core, self._radices, task.start, task.end)
         budget_exhausted = False
+        span = (
+            tele.span("batch", batch=task.batch_id,
+                      start=task.start, end=task.end)
+            if tele.enabled
+            else None
+        )
         try:
+            if span is not None:
+                span.__enter__()
             for digits in walker.enumerator:
                 core.process_candidate(walker, digits, self._first_new)
         except _StopSynthesis:
             budget_exhausted = core.stopped_early and not core.inherent_failure
             core.stopped_early = False
+        finally:
+            if span is not None:
+                span.set(evaluated=core.evaluated - evaluated_seen)
+                span.__exit__(None, None, None)
+        metrics_delta = (
+            diff_snapshots(metrics_before, tele.metrics.snapshot())
+            if metrics_before is not None
+            else {}
+        )
 
         holes = core.registry.holes
         prefix_now = (
@@ -237,6 +266,8 @@ class BatchRunner:
             prefix_states_reused=prefix_now[2] - prefix_seen[2],
             por_rules_skipped=core.por_rules_skipped - por_skipped_seen,
             ample_states=core.ample_states - ample_states_seen,
+            peak_states=core.peak_states,
+            metrics=metrics_delta,
             budget_exhausted=budget_exhausted,
             inherent_failure=core.inherent_failure,
             inherent_failure_message=core.inherent_failure_message,
@@ -245,9 +276,21 @@ class BatchRunner:
 
 def worker_main(worker_id: int, spec: SystemSpec, config: SynthesisConfig,
                 task_queue, result_queue) -> None:
-    """Process entry point: serve PassStart/BatchTask until Shutdown."""
+    """Process entry point: serve PassStart/BatchTask until Shutdown.
+
+    When the shipped config enables telemetry the worker opens its own
+    bundle — with a private trace sink at ``<trace_path>.worker-<id>``
+    when a trace path is set, progress always off (N processes sharing
+    one stderr is noise) — and its metrics travel home as per-batch
+    snapshot deltas in :class:`BatchResult`.
+    """
+    telemetry = None
     try:
-        runner = BatchRunner(spec.build(), config, worker_id=worker_id)
+        if config.telemetry_active:
+            telemetry = Telemetry.from_config(config, worker_id=worker_id)
+        runner = BatchRunner(
+            spec.build(), config, worker_id=worker_id, telemetry=telemetry
+        )
         while True:
             message = task_queue.get()
             if isinstance(message, Shutdown):
@@ -258,3 +301,6 @@ def worker_main(worker_id: int, spec: SystemSpec, config: SynthesisConfig,
             result_queue.put(runner.run_batch(message))
     except BaseException:
         result_queue.put(WorkerCrash(worker_id, traceback.format_exc()))
+    finally:
+        if telemetry is not None:
+            telemetry.close()

@@ -35,6 +35,7 @@ from repro.dist import DistributedSynthesisEngine, SystemSpec
 from repro.errors import ExperimentError
 from repro.experiments.spec import CellSpec, MatrixSpec, expand_matrix, make_cell
 from repro.mc.kernel import ExplorationLimits, make_explorer
+from repro.obs import NULL_TELEMETRY
 from repro.protocols.catalog import build_protocol, build_skeleton_with_holes
 
 JOURNAL_NAME = "journal.jsonl"
@@ -67,18 +68,21 @@ def _synthesis_config(cell: CellSpec) -> SynthesisConfig:
     )
 
 
-def _run_synth_cell(cell: CellSpec) -> Dict[str, Any]:
+def _run_synth_cell(cell: CellSpec, telemetry=None) -> Dict[str, Any]:
     config = _synthesis_config(cell)
     if cell.backend == "processes":
         report = DistributedSynthesisEngine(
-            SystemSpec(cell.target, cell.replicas), config, workers=cell.workers
+            SystemSpec(cell.target, cell.replicas), config,
+            workers=cell.workers, telemetry=telemetry,
         ).run()
     elif cell.backend == "threads":
         system, _holes = build_skeleton_with_holes(cell.target, cell.replicas)
-        report = ParallelSynthesisEngine(system, config, threads=cell.workers).run()
+        report = ParallelSynthesisEngine(
+            system, config, threads=cell.workers, telemetry=telemetry
+        ).run()
     else:
         system, _holes = build_skeleton_with_holes(cell.target, cell.replicas)
-        report = SynthesisEngine(system, config).run()
+        report = SynthesisEngine(system, config, telemetry=telemetry).run()
     solutions = sorted(solution.assignment for solution in report.solutions)
     return {
         "kind": "synth",
@@ -91,12 +95,13 @@ def _run_synth_cell(cell: CellSpec) -> Dict[str, Any]:
         "solutions": len(report.solutions),
         "solution_set": [list(map(list, assignment)) for assignment in solutions],
         "seconds": round(report.elapsed_seconds, 4),
+        "peak_states": report.peak_states,
         "ok": bool(report.solutions),
         "status": "ok" if report.solutions else "no-solutions",
     }
 
 
-def _run_verify_cell(cell: CellSpec) -> Dict[str, Any]:
+def _run_verify_cell(cell: CellSpec, telemetry=None) -> Dict[str, Any]:
     system = build_protocol(
         cell.target,
         cell.replicas,
@@ -104,9 +109,13 @@ def _run_verify_cell(cell: CellSpec) -> Dict[str, Any]:
         symmetry=cell.symmetry,
     )
     limits = ExplorationLimits(max_states=cell.max_states)
+    kernel_telemetry = (
+        telemetry if telemetry is not None and telemetry.enabled else None
+    )
     start = time.perf_counter()
     result = make_explorer(
-        cell.explorer, system, limits=limits, partial_order=cell.por
+        cell.explorer, system, limits=limits, partial_order=cell.por,
+        telemetry=kernel_telemetry,
     ).run()
     elapsed = time.perf_counter() - start
     return {
@@ -115,6 +124,7 @@ def _run_verify_cell(cell: CellSpec) -> Dict[str, Any]:
         "verdict": result.verdict.value,
         "states": result.stats.states_visited,
         "seconds": round(elapsed, 4),
+        "peak_states": result.stats.states_visited,
         "ok": result.is_success,
         "status": "ok" if result.is_success else f"verdict-{result.verdict.value}",
     }
@@ -159,14 +169,21 @@ def _run_estimate_cell(
 
 
 def run_cell(
-    cell: CellSpec, prior_rows: Optional[Dict[str, Dict[str, Any]]] = None
+    cell: CellSpec,
+    prior_rows: Optional[Dict[str, Dict[str, Any]]] = None,
+    telemetry=None,
 ) -> Dict[str, Any]:
-    """Execute one cell in-process and return its result row."""
+    """Execute one cell in-process and return its result row.
+
+    ``telemetry`` is the matrix runner's bundle; cells executed in this
+    process trace into it (engines do not own or close it).  Estimate
+    cells only sample, so they run untraced.
+    """
     if cell.estimate_naive_from:
         return _run_estimate_cell(cell, prior_rows or {})
     if cell.mode == "verify":
-        return _run_verify_cell(cell)
-    return _run_synth_cell(cell)
+        return _run_verify_cell(cell, telemetry=telemetry)
+    return _run_synth_cell(cell, telemetry=telemetry)
 
 
 def _isolated_entry(cell_values: Dict[str, Any], queue) -> None:
@@ -346,15 +363,17 @@ def _markdown_report(result: MatrixResult) -> str:
         "",
         result.summary(),
         "",
-        "| Cell | Kind | Status | Solutions | Evaluated/States | Seconds |",
-        "|---|---|---|---|---|---|",
+        "| Cell | Kind | Status | Solutions | Evaluated/States "
+        "| Peak states | Seconds |",
+        "|---|---|---|---|---|---|---|",
     ]
     for row in result.rows:
         work = row.get("evaluated", row.get("states", ""))
         lines.append(
             f"| {row.get('cell', '?')} | {row.get('kind', '?')} "
             f"| {row.get('status', '?')} | {row.get('solutions', '')} "
-            f"| {work} | {row.get('seconds', '')} |"
+            f"| {work} | {row.get('peak_states', '')} "
+            f"| {row.get('seconds', '')} |"
         )
     lines += ["", "```text", result.table_text(), "```", ""]
     return "\n".join(lines)
@@ -370,8 +389,14 @@ class MatrixRunner:
         fresh: bool = False,
         log: Optional[Callable[[str], None]] = None,
         force_por: Optional[bool] = None,
+        telemetry=None,
     ) -> None:
         self.spec = spec
+        #: the matrix's telemetry bundle; in-process cells trace into it,
+        #: timeout-isolated cells run untraced (the bundle holds open file
+        #: handles and thread-local state that cannot cross a fork/spawn).
+        #: The caller owns (and closes) the bundle.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cells = expand_matrix(spec)
         if force_por is not None:
             # Applied *after* expansion so cell ids (the journal keys)
@@ -439,6 +464,12 @@ class MatrixRunner:
         write_header = not self.journal_path.exists()
         result = MatrixResult(name=self.spec.name, rows=[], out_dir=str(self.out_dir))
         rows_by_id: Dict[str, Dict[str, Any]] = {}
+        tele = self.telemetry
+        tick = (
+            tele.progress.tick
+            if tele.enabled and tele.progress is not None
+            else None
+        )
         with open(self.journal_path, "a") as journal:
             if write_header:
                 self._append_journal(journal, {"matrix": self.spec.name})
@@ -453,21 +484,33 @@ class MatrixRunner:
                 else:
                     self._log(f"[{index}/{len(self.cells)}] {cell.id}: running ...")
                     started = time.perf_counter()
-                    try:
-                        if cell.estimate_naive_from:
-                            row = _run_estimate_cell(cell, rows_by_id)
-                        elif cell.timeout_seconds is not None:
-                            row = _run_cell_isolated(cell)
-                        else:
-                            row = run_cell(cell)
-                    except Exception as exc:  # noqa: BLE001 - cell isolation
-                        row = {
-                            "kind": cell.mode,
-                            "ok": False,
-                            "status": "error",
-                            "error": str(exc),
-                            "seconds": round(time.perf_counter() - started, 4),
-                        }
+                    with tele.span(
+                        "cell", cell=cell.id, kind=cell.mode, index=index
+                    ) as span:
+                        try:
+                            if cell.estimate_naive_from:
+                                row = _run_estimate_cell(cell, rows_by_id)
+                            elif cell.timeout_seconds is not None:
+                                row = _run_cell_isolated(cell)
+                            elif tele.enabled:
+                                row = run_cell(cell, telemetry=tele)
+                            else:
+                                row = run_cell(cell)
+                        except Exception as exc:  # noqa: BLE001 - cell isolation
+                            row = {
+                                "kind": cell.mode,
+                                "ok": False,
+                                "status": "error",
+                                "error": str(exc),
+                                "seconds": round(
+                                    time.perf_counter() - started, 4
+                                ),
+                            }
+                        span.set(
+                            status=row.get("status"),
+                            seconds=row.get("seconds"),
+                            peak_states=row.get("peak_states"),
+                        )
                     result.executed += 1
                     row = dict(row)
                     row["cell"] = cell.id
@@ -479,6 +522,14 @@ class MatrixRunner:
                     )
                 rows_by_id[cell.id] = row
                 result.rows.append(row)
+                if tick is not None:
+                    tick(
+                        cells=index,
+                        total=len(self.cells),
+                        executed=result.executed,
+                        resumed=result.resumed,
+                        failed=len(result.failed),
+                    )
         self._write_outputs(result)
         return result
 

@@ -67,6 +67,7 @@ records how many states a run inherited instead of re-exploring.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
@@ -247,6 +248,7 @@ class ExplorationKernel:
         resume_from: Optional[ExplorationCheckpoint] = None,
         collect_checkpoint: bool = False,
         partial_order: bool = False,
+        telemetry: Any = None,
     ) -> None:
         self.partial_order = partial_order
         if isinstance(strategy, str):
@@ -281,6 +283,11 @@ class ExplorationKernel:
         self.checkpoint: Optional[ExplorationCheckpoint] = None
         #: canonical state -> state id, filled during :meth:`run`
         self.visited_states: Dict[Any, int] = {}
+        #: a ``repro.obs.Telemetry`` (or ``None``); the enabled/disabled
+        #: decision is taken once in :meth:`run`, not per state
+        self.telemetry = telemetry
+        #: phase name -> seconds, populated per run when instrumented
+        self.phase_seconds: Dict[str, float] = {}
 
     def run(self) -> VerificationResult:
         """Explore and return the verdict."""
@@ -295,9 +302,25 @@ class ExplorationKernel:
         ordered_indices = tuple(
             self.strategy.order_rules(tuple(range(len(all_rules))))
         )
+        tele = self.telemetry
+        instrumented = tele is not None and tele.enabled
+        clock = time.perf_counter
+        #: mutable cells so nested closures can accumulate without
+        #: nonlocal plumbing; only touched when instrumented
+        canon_acc = [0.0]
+        canon_seed = [0.0]
+        expand_acc = [0.0]
+        ample_acc = [0.0]
+        resume_acc = [0.0]
+        checkpoint_acc = [0.0]
         por = None
         if self.partial_order:
-            analysis = get_footprint_analysis(system)
+            if instrumented:
+                with tele.span("footprint_probe") as probe_span:
+                    analysis = get_footprint_analysis(system)
+                    probe_span.set(usable=analysis.usable)
+            else:
+                analysis = get_footprint_analysis(system)
             if analysis.usable:
                 por = analysis
         reduction_mode = "por" if por is not None else "full"
@@ -324,8 +347,24 @@ class ExplorationKernel:
         ample_states = 0
         #: state ids already popped and expanded (the FIFO queue proviso)
         expanded: Set[int] = set()
+        if instrumented:
+            # Wrap canonicalisation in a timing shim.  The shim replaces
+            # the local binding only — ``canon_source`` keeps serving the
+            # orbit-cache counters, and the disabled path never pays it.
+            canon_source = canonicalize
+
+            def canonicalize(state, _raw=canon_source, _acc=canon_acc,
+                             _clock=clock):
+                begin = _clock()
+                result = _raw(state)
+                _acc[0] += _clock() - begin
+                return result
+        else:
+            canon_source = canonicalize
+
         resume = self.resume_from
         states_reused = 0
+        resume_begin = clock() if instrumented and resume is not None else 0.0
         if resume is not None:
             visited.update(resume.visited)
             originals.extend(resume.originals)
@@ -342,12 +381,14 @@ class ExplorationKernel:
             por_rules_skipped = resume.por_rules_skipped
             ample_states = resume.ample_states
             ctx.run_executed_holes.update(resume.executed_holes)
+            if instrumented:
+                resume_acc[0] += clock() - resume_begin
 
         # The orbit cache (repro.mc.symmetry.CachingCanonicalizer) is
         # shared across runs of the same system; report per-run hit deltas.
         # Under the threads backend concurrent runs share the counter, so a
         # run's delta can include other threads' hits — diagnostics only.
-        cache_hits_base = getattr(canonicalize, "hits", 0)
+        cache_hits_base = getattr(canon_source, "hits", 0)
 
         frontier: deque = deque()
 
@@ -396,7 +437,37 @@ class ExplorationKernel:
             steps.reverse()
             return Trace(steps)
 
+        telemetry_done = [False]
+
+        def finish_telemetry() -> None:
+            """Report phase attribution; runs once, on every exit path.
+
+            ``stats()`` is called exactly once per run — every
+            ``VerificationResult`` construction goes through it — which
+            makes it the single choke point covering early failure
+            returns as well as the drained-frontier exits.
+            """
+            if telemetry_done[0]:
+                return
+            telemetry_done[0] = True
+            canon_in_expand = canon_acc[0] - canon_seed[0]
+            phases = {
+                "canonicalise": canon_acc[0],
+                "expand": max(0.0, expand_acc[0] - canon_in_expand),
+            }
+            if resume is not None:
+                phases["resume_seed"] = resume_acc[0]
+            if por is not None:
+                phases["ample_select"] = ample_acc[0]
+            if checkpoint_acc[0]:
+                phases["checkpoint"] = checkpoint_acc[0]
+            self.phase_seconds = phases
+            for name, seconds in phases.items():
+                tele.phase(name, seconds)
+
         def stats() -> RunStats:
+            if instrumented:
+                finish_telemetry()
             return RunStats(
                 states_visited=states_visited,
                 transitions_fired=transitions,
@@ -404,8 +475,8 @@ class ExplorationKernel:
                 wildcard_cuts=wildcard_cuts,
                 max_depth=max_depth,
                 truncated=truncated,
-                canon_cache_hits=getattr(canonicalize, "hits", 0) - cache_hits_base,
-                canon_cache_size=getattr(canonicalize, "size", 0),
+                canon_cache_hits=getattr(canon_source, "hits", 0) - cache_hits_base,
+                canon_cache_size=getattr(canon_source, "size", 0),
                 prefix_states_reused=states_reused,
                 por_rules_skipped=por_rules_skipped,
                 ample_states=ample_states,
@@ -460,11 +531,18 @@ class ExplorationKernel:
                             sid,
                         )
 
+        canon_seed[0] = canon_acc[0]  # canon time spent seeding, not expanding
+        tick = None
+        if instrumented and tele.progress is not None:
+            tick = tele.progress.tick
+
         while frontier:
             if limits.max_states is not None and states_visited >= limits.max_states:
                 truncated = True
                 break
             state, sid, depth = self.strategy.pop(frontier)
+            if tick is not None:
+                tick(states=states_visited, frontier=len(frontier), depth=depth)
             if por is not None:
                 expanded.add(sid)
             if depth > max_depth:
@@ -481,6 +559,8 @@ class ExplorationKernel:
             ample: Optional[frozenset] = None
             enabled: Sequence[int] = ordered_indices
             if por is not None:
+                if instrumented:
+                    ample_begin = clock()
                 enabled = [
                     index for index in ordered_indices
                     if all_rules[index].guard(state)
@@ -495,6 +575,8 @@ class ExplorationKernel:
                     chosen = por.ample(mask, state, visible)
                     if chosen is not None:
                         ample = frozenset(chosen)
+                if instrumented:
+                    ample_acc[0] += clock() - ample_begin
 
             def fire_indices(indices, check_guard) -> Optional[VerificationResult]:
                 """Fire a batch of rules at the current state.
@@ -544,12 +626,16 @@ class ExplorationKernel:
                                 )
                 return None
 
+            if instrumented:
+                expand_begin = clock()
             outcome = fire_indices(
                 enabled if ample is None
                 else [index for index in enabled if index in ample],
                 check_guard=por is None,
             )
             if outcome is not None:
+                if instrumented:
+                    expand_acc[0] += clock() - expand_begin
                 return outcome
             if ample is not None:
                 if proviso_ok and produced_successor:
@@ -565,7 +651,11 @@ class ExplorationKernel:
                         check_guard=False,
                     )
                     if outcome is not None:
+                        if instrumented:
+                            expand_acc[0] += clock() - expand_begin
                         return outcome
+            if instrumented:
+                expand_acc[0] += clock() - expand_begin
 
             if cut_here:
                 cut_states.append((sid, depth))
@@ -579,6 +669,8 @@ class ExplorationKernel:
                     )
 
         if self.collect_checkpoint and not truncated:
+            if instrumented:
+                checkpoint_begin = clock()
             cut_states.sort(key=lambda entry: entry[1])
             self.checkpoint = ExplorationCheckpoint(
                 visited=dict(visited),
@@ -596,6 +688,8 @@ class ExplorationKernel:
                 por_rules_skipped=por_rules_skipped,
                 ample_states=ample_states,
             )
+            if instrumented:
+                checkpoint_acc[0] += clock() - checkpoint_begin
 
         unmet = tuple(prop.name for prop in pending_coverage)
         if unmet and not ctx.run_wildcard_encountered and not truncated:
@@ -640,6 +734,7 @@ def make_explorer(
     resume_from: Optional[ExplorationCheckpoint] = None,
     collect_checkpoint: bool = False,
     partial_order: bool = False,
+    telemetry: Any = None,
 ) -> ExplorationKernel:
     """Build a kernel for a registered strategy name (``bfs``/``dfs``).
 
@@ -659,4 +754,5 @@ def make_explorer(
         resume_from=resume_from,
         collect_checkpoint=collect_checkpoint,
         partial_order=partial_order,
+        telemetry=telemetry,
     )

@@ -1,0 +1,102 @@
+"""Throttled live progress reporting.
+
+``ProgressReporter.tick(**fields)`` is safe to call from a hot loop:
+the time check comes first, so a suppressed tick costs one clock read
+and one comparison.  When the interval (default 1s) has elapsed, the
+current counters render as a stderr line — carriage-return rewritten
+in-place on a TTY, one plain line per emission otherwise — and, when a
+tracer is attached, also land in the trace as a ``progress`` event so
+a future service tier can stream them.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressReporter"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+class ProgressReporter:
+    """Time-throttled counter display for long runs."""
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        stream=None,
+        tracer=None,
+        clock=time.monotonic,
+    ) -> None:
+        self.interval = float(interval)
+        self.stream = stream if stream is not None else sys.stderr
+        self.tracer = tracer
+        self.clock = clock
+        try:
+            self._tty = bool(self.stream.isatty())
+        except (AttributeError, ValueError):
+            self._tty = False
+        self._next_emit = clock()  # first tick emits immediately
+        self._fields = {}
+        self._dirty = False
+        self._line_open = False
+        self.emissions = 0
+
+    def tick(self, **fields) -> bool:
+        """Fold ``fields`` into the live counters; emit if due.
+
+        Returns True when a line was emitted.  Fields accumulate across
+        suppressed ticks (last value wins per key), so sources with
+        different field sets — the kernel's states/frontier/depth and
+        the engine's evaluated/solutions — share one display line.
+        """
+        self._fields.update(fields)
+        self._dirty = True
+        now = self.clock()
+        if now < self._next_emit:
+            return False
+        self._next_emit = now + self.interval
+        self._emit()
+        return True
+
+    def _emit(self) -> None:
+        self._dirty = False
+        self.emissions += 1
+        text = " ".join(f"{k}={_fmt(v)}" for k, v in self._fields.items())
+        line = f"[progress] {text}"
+        try:
+            if self._tty:
+                # Pad to clear leftovers from a longer previous line.
+                self.stream.write("\r" + line.ljust(78))
+                self._line_open = True
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+        if self.tracer is not None:
+            self.tracer.event("progress", **self._fields)
+
+    def finish(self, **fields) -> None:
+        """Emit one final line (and newline on a TTY) at run end."""
+        if fields:
+            self._fields.update(fields)
+            self._dirty = True
+        if self._dirty:
+            self._emit()
+        if self._tty and self._line_open:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass
+            self._line_open = False

@@ -16,13 +16,32 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(f"repro.{name}")
 
 
-def enable_verbose_logging(level: int = logging.INFO) -> None:
-    """Attach a stderr handler to the library logger (idempotent)."""
+#: marker attribute identifying the handler this module attached — an
+#: isinstance check is not enough (FileHandler subclasses StreamHandler,
+#: and an application's own stderr handler is not ours to count)
+_HANDLER_TAG = "_repro_verbose_handler"
+
+
+def enable_verbose_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach (or re-tune) the library's stderr handler.
+
+    Idempotent under re-entry, including with a *different* ``level``:
+    exactly one handler is ever attached, and a later call moves both the
+    logger and the existing handler to the new level instead of stacking
+    a second handler.  Handlers attached by the application are neither
+    counted as ours nor touched.  Returns the library handler.
+    """
     logger = logging.getLogger("repro")
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
-        handler = logging.StreamHandler()
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
-        )
-        logger.addHandler(handler)
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_TAG, False):
+            handler.setLevel(level)
+            return handler
+    handler = logging.StreamHandler()
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    return handler

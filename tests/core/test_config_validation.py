@@ -40,6 +40,30 @@ class TestConfigValidation:
             SynthesisConfig(explorer="best-first")
 
 
+class TestTelemetryConfigValidation:
+    @pytest.mark.parametrize("knob", ["telemetry", "progress"])
+    def test_non_bool_flags_rejected(self, knob):
+        with pytest.raises(SynthesisError, match=knob):
+            SynthesisConfig(**{knob: 1})
+        with pytest.raises(SynthesisError, match=knob):
+            SynthesisConfig(**{knob: "yes"})
+
+    def test_non_string_trace_path_rejected(self):
+        with pytest.raises(SynthesisError, match="trace_path"):
+            SynthesisConfig(trace_path=7)
+
+    @pytest.mark.parametrize("bad", [0, -1.0, True, "fast", None])
+    def test_bad_progress_interval_rejected(self, bad):
+        with pytest.raises(SynthesisError, match="progress_interval"):
+            SynthesisConfig(progress_interval=bad)
+
+    def test_trace_path_or_progress_implies_telemetry_active(self):
+        assert not SynthesisConfig().telemetry_active
+        assert SynthesisConfig(telemetry=True).telemetry_active
+        assert SynthesisConfig(trace_path="t.jsonl").telemetry_active
+        assert SynthesisConfig(progress=True).telemetry_active
+
+
 class TestEngineWorkerValidation:
     def test_threads_engine_rejects_nonpositive_threads(self):
         system = build_skeleton("mutex")

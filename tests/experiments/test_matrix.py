@@ -482,6 +482,53 @@ class TestPresets:
         # The smoke matrix covers the new workloads in both modes.
         assert {"moesi-small", "german-small", "moesi", "german"} <= targets
 
+    def test_rows_carry_timing_and_peak_states(self, tmp_path):
+        out = tmp_path / "out"
+        MatrixRunner(tiny_spec(), out).run()
+        rows = [
+            entry["row"]
+            for entry in map(
+                json.loads,
+                (out / JOURNAL_NAME).read_text().splitlines(),
+            )
+            if "row" in entry
+        ]
+        assert len(rows) == 2
+        for row in rows:
+            assert row["seconds"] >= 0
+            assert row["peak_states"] > 0
+        report = (out / REPORT_NAME).read_text()
+        assert "Peak states" in report
+        assert "Seconds" in report
+
+    def test_runner_telemetry_traces_cells(self, tmp_path):
+        from repro.obs import Telemetry, load_events
+
+        trace = tmp_path / "trace.jsonl"
+        tele = Telemetry.create(trace_path=str(trace))
+        with_tele = MatrixRunner(
+            tiny_spec(), tmp_path / "out", telemetry=tele
+        ).run()
+        tele.close()
+        plain = MatrixRunner(tiny_spec(), tmp_path / "out2").run()
+        assert with_tele.executed == plain.executed == 2
+        events = load_events(trace)
+        cells = [
+            e for e in events
+            if e["type"] == "span_start" and e["name"] == "cell"
+        ]
+        assert [e["cell"] for e in cells] == ["a", "b"]
+        # Cell results are journalled identically either way.
+        rows = lambda out: [
+            {k: entry["row"][k] for k in ("cell", "ok", "peak_states")}
+            for entry in map(
+                json.loads,
+                (out / JOURNAL_NAME).read_text().splitlines(),
+            )
+            if "row" in entry
+        ]
+        assert rows(tmp_path / "out") == rows(tmp_path / "out2")
+
     def test_table1_text_uses_classic_columns(self, tmp_path):
         spec = MatrixSpec.from_dict(
             {

@@ -1,0 +1,159 @@
+"""Tests for the metrics registry: handles, labels, snapshot semantics."""
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry, diff_snapshots
+
+
+class TestHandles:
+    def test_counter_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("runs", "runs dispatched")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_set_and_track_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "frontier depth")
+        gauge.set(7)
+        gauge.track_max(3)
+        assert gauge.value == 7
+        gauge.track_max(11)
+        assert gauge.value == 11
+
+    def test_histogram_observe(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("seconds", "per-run seconds")
+        for value in (0.001, 0.5, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(2.501)
+        assert hist.minimum == pytest.approx(0.001)
+        assert hist.maximum == pytest.approx(2.0)
+        assert hist.mean == pytest.approx(2.501 / 3)
+        assert sum(hist.counts) == 3
+
+    def test_factory_is_idempotent_prebinding(self):
+        registry = MetricsRegistry()
+        assert registry.counter("runs", "h") is registry.counter("runs", "h")
+
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        ok = registry.counter("verdicts", "by kind", verdict="success")
+        bad = registry.counter("verdicts", "by kind", verdict="failure")
+        assert ok is not bad
+        ok.inc(2)
+        bad.inc()
+        series = registry.snapshot()["verdicts"]["series"]
+        assert series == {"verdict=success": 2, "verdict=failure": 1}
+
+    def test_label_key_order_independent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", "h", x="1", y="2")
+        b = registry.counter("c", "h", y="2", x="1")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", "h")
+        with pytest.raises(ValueError):
+            registry.gauge("thing", "h")
+
+    def test_label_name_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", "h", worker="0")
+        with pytest.raises(ValueError):
+            registry.counter("thing", "h", shard="0")
+
+
+class TestSnapshotMerge:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("evaluated", "candidates").inc(10)
+        registry.gauge("peak", "states").track_max(500)
+        registry.histogram("seconds", "check time").observe(0.25)
+        registry.counter("verdicts", "by kind", verdict="success").inc(2)
+        return registry
+
+    def test_snapshot_roundtrips_through_merge(self):
+        source = self._populated()
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_counters_sum_gauges_max(self):
+        one, two = self._populated(), self._populated()
+        two.gauge("peak", "states").track_max(900)
+        one.merge(two.snapshot())
+        snap = one.snapshot()
+        assert snap["evaluated"]["series"][""] == 20
+        assert snap["peak"]["series"][""] == 900
+
+    def test_merge_histograms_accumulate(self):
+        one, two = self._populated(), self._populated()
+        two.histogram("seconds", "check time").observe(1.5)
+        one.merge(two.snapshot())
+        data = one.snapshot()["seconds"]["series"][""]
+        assert data["count"] == 3
+        assert data["total"] == pytest.approx(0.25 + 0.25 + 1.5)
+        assert data["max"] == pytest.approx(1.5)
+        assert data["buckets"] == list(DEFAULT_BUCKETS)
+
+    def test_merge_is_order_independent(self):
+        deltas = []
+        for amount in (3, 7, 11):
+            registry = MetricsRegistry()
+            registry.counter("evaluated", "candidates").inc(amount)
+            registry.gauge("peak", "states").track_max(amount * 100)
+            deltas.append(registry.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for delta in deltas:
+            forward.merge(delta)
+        for delta in reversed(deltas):
+            backward.merge(delta)
+        assert forward.snapshot() == backward.snapshot()
+
+
+class TestDiffSnapshots:
+    def test_counter_delta(self):
+        registry = MetricsRegistry()
+        handle = registry.counter("evaluated", "candidates")
+        handle.inc(5)
+        before = registry.snapshot()
+        handle.inc(3)
+        delta = diff_snapshots(before, registry.snapshot())
+        assert delta["evaluated"]["series"][""] == 3
+
+    def test_zero_deltas_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("evaluated", "candidates").inc(5)
+        before = registry.snapshot()
+        delta = diff_snapshots(before, registry.snapshot())
+        assert delta == {}
+
+    def test_delta_merges_like_the_increments(self):
+        """diff -> merge on a second registry reproduces the increments:
+        the exact worker -> coordinator roundtrip in BatchResult."""
+        worker = MetricsRegistry()
+        worker.counter("evaluated", "candidates").inc(5)
+        worker.histogram("seconds", "t").observe(0.1)
+        before = worker.snapshot()
+        worker.counter("evaluated", "candidates").inc(7)
+        worker.histogram("seconds", "t").observe(0.4)
+        delta = diff_snapshots(before, worker.snapshot())
+
+        coordinator = MetricsRegistry()
+        coordinator.counter("evaluated", "candidates").inc(100)
+        coordinator.merge(delta)
+        snap = coordinator.snapshot()
+        assert snap["evaluated"]["series"][""] == 107
+        assert snap["seconds"]["series"][""]["count"] == 1
+        assert snap["seconds"]["series"][""]["total"] == pytest.approx(0.4)
+
+    def test_render_mentions_every_family(self):
+        registry = MetricsRegistry()
+        registry.counter("evaluated", "candidates").inc(2)
+        registry.gauge("peak", "states").track_max(9)
+        text = registry.render()
+        assert "evaluated" in text and "peak" in text

@@ -1,0 +1,125 @@
+"""Tests for the throttled progress reporter."""
+
+import io
+
+from repro.obs.progress import ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TtyStream(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def make(stream=None, interval=1.0, tracer=None):
+    clock = FakeClock()
+    stream = stream if stream is not None else io.StringIO()
+    reporter = ProgressReporter(
+        interval=interval, stream=stream, tracer=tracer, clock=clock
+    )
+    return reporter, stream, clock
+
+
+class TestThrottle:
+    def test_first_tick_emits_immediately(self):
+        reporter, stream, _clock = make()
+        assert reporter.tick(states=10) is True
+        assert "states=10" in stream.getvalue()
+
+    def test_ticks_within_interval_suppressed(self):
+        reporter, stream, clock = make()
+        reporter.tick(states=1)
+        clock.now = 0.5
+        assert reporter.tick(states=2) is False
+        assert reporter.emissions == 1
+        clock.now = 1.5
+        assert reporter.tick(states=3) is True
+        assert reporter.emissions == 2
+
+    def test_suppressed_fields_accumulate_last_value_wins(self):
+        reporter, stream, clock = make()
+        reporter.tick(states=1)
+        clock.now = 0.2
+        reporter.tick(states=5)
+        clock.now = 0.4
+        reporter.tick(evaluated=3)  # different source, same line
+        clock.now = 1.5
+        reporter.tick(states=9)
+        last_line = stream.getvalue().strip().splitlines()[-1]
+        assert "states=9" in last_line
+        assert "evaluated=3" in last_line
+
+    def test_thousands_separators(self):
+        reporter, stream, _clock = make()
+        reporter.tick(states=1234567)
+        assert "states=1,234,567" in stream.getvalue()
+
+
+class TestRendering:
+    def test_non_tty_writes_newline_lines(self):
+        reporter, stream, clock = make()
+        reporter.tick(states=1)
+        clock.now = 2.0
+        reporter.tick(states=2)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("[progress]") for line in lines)
+
+    def test_tty_rewrites_in_place(self):
+        reporter, stream, _clock = make(stream=TtyStream())
+        reporter.tick(states=1)
+        text = stream.getvalue()
+        assert text.startswith("\r")
+        assert "\n" not in text
+
+    def test_finish_closes_tty_line(self):
+        reporter, stream, _clock = make(stream=TtyStream())
+        reporter.tick(states=1)
+        reporter.finish(solutions=3)
+        assert stream.getvalue().endswith("\n")
+
+    def test_finish_flushes_pending_fields(self):
+        reporter, stream, clock = make()
+        reporter.tick(states=1)
+        clock.now = 0.5
+        reporter.tick(states=7)  # suppressed
+        reporter.finish()
+        assert "states=7" in stream.getvalue().splitlines()[-1]
+
+    def test_broken_stream_is_swallowed(self):
+        class Broken:
+            def isatty(self):
+                return False
+
+            def write(self, _text):
+                raise OSError("closed")
+
+            def flush(self):
+                raise OSError("closed")
+
+        reporter = ProgressReporter(stream=Broken(), clock=FakeClock())
+        assert reporter.tick(states=1) is True  # no raise
+
+
+class TestTracerBridge:
+    def test_emissions_land_in_trace(self):
+        class RecordingTracer:
+            def __init__(self):
+                self.events = []
+
+            def event(self, type_, **fields):
+                self.events.append((type_, fields))
+
+        tracer = RecordingTracer()
+        reporter, _stream, clock = make(tracer=tracer)
+        reporter.tick(states=1)
+        clock.now = 0.5
+        reporter.tick(states=2)  # suppressed: no trace event either
+        assert tracer.events == [("progress", {"states": 1})]

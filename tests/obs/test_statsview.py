@@ -1,0 +1,130 @@
+"""Tests for trace loading and phase-attributed statistics."""
+
+
+import pytest
+
+from repro.obs.statsview import build_stats, load_events, render_stats
+from repro.obs.tracing import JsonlTraceSink, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestLoadEvents:
+    def _write(self, path, lines):
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, ['{"type":"meta"}', "", '{"type":"phase"}'])
+        assert len(load_events(path)) == 2
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type":"meta"}\n{"type":"span_sta')
+        events = load_events(path)
+        assert [e["type"] for e in events] == ["meta"]
+
+    def test_torn_middle_line_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, ['{"type":"meta"}', "{corrupt", '{"type":"phase"}'])
+        with pytest.raises(ValueError):
+            load_events(path)
+
+
+def synthetic_trace(clock=None):
+    """One root span with two children and a phase; returns the events."""
+    collected = []
+
+    class Sink:
+        path = None
+        events_written = 0
+
+        def emit(self, event):
+            collected.append(event)
+
+        def flush(self):
+            pass
+
+        def close(self):
+            pass
+
+    clock = clock or FakeClock()
+    tracer = Tracer(Sink(), clock=clock)
+    with tracer.span("synth"):
+        with tracer.span("evaluate"):
+            clock.now = 4.0
+        with tracer.span("evaluate"):
+            clock.now = 7.0
+        tracer.phase("canonicalise", 2.0)
+        clock.now = 10.0
+    return collected
+
+
+class TestBuildStats:
+    def test_aggregates_and_root(self):
+        stats = build_stats(synthetic_trace())
+        assert stats.root_name == "synth"
+        assert stats.root_seconds == pytest.approx(10.0)
+        assert stats.count_for("evaluate") == 2
+        assert stats.total_for("evaluate") == pytest.approx(7.0)
+        assert stats.count_for("canonicalise", "phase") == 1
+        assert stats.total_for("canonicalise", "phase") == pytest.approx(2.0)
+
+    def test_attribution_unions_child_intervals(self):
+        # children cover [0,4] and [4,7]; the phase covers [5,7] (inside
+        # the second child) -> union 7 of 10 root seconds.
+        stats = build_stats(synthetic_trace())
+        assert stats.attribution == pytest.approx(0.7)
+
+    def test_open_spans_counted(self):
+        events = synthetic_trace()
+        # Drop the final span_end: the root never closes.
+        truncated = events[:-1]
+        stats = build_stats(truncated)
+        assert stats.open_spans == 1
+        assert stats.attribution is None  # root duration unknown
+
+    def test_progress_events_counted(self):
+        events = synthetic_trace()
+        events.append({"t": 9.0, "type": "progress", "states": 5})
+        assert build_stats(events).progress_events == 1
+
+    def test_attribution_caps_at_one(self):
+        clock = FakeClock()
+        collected = synthetic_trace(clock)
+        # A phase wider than the root cannot push attribution past 100%.
+        collected.insert(
+            len(collected) - 1,
+            {"t": 10.0, "type": "phase", "name": "huge", "seconds": 50.0,
+             "span": 1},
+        )
+        assert build_stats(collected).attribution == pytest.approx(1.0)
+
+
+class TestRenderStats:
+    def test_render_lists_names_sorted_by_total(self):
+        text = render_stats(synthetic_trace(), source="t.jsonl")
+        lines = text.splitlines()
+        assert lines[0].startswith("trace: t.jsonl")
+        assert "root span: synth" in text
+        assert "attributed to named phases: 70.0%" in text
+        table = [l for l in lines if l.startswith(("synth", "evaluate"))]
+        assert table[0].startswith("synth")  # largest total first
+        assert table[1].startswith("evaluate")
+
+    def test_render_real_file_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        clock = FakeClock()
+        tracer = Tracer(JsonlTraceSink(path), clock=clock)
+        with tracer.span("verify", protocol="msi"):
+            clock.now = 1.0
+        tracer.close()
+        text = render_stats(load_events(path), source=str(path))
+        assert "root span: verify" in text
+        assert "verify" in text

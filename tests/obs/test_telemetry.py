@@ -1,0 +1,114 @@
+"""Tests for the Telemetry facade and the disabled singleton."""
+
+import io
+import json
+
+from repro.core.engine import SynthesisConfig, resolve_telemetry
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.statsview import load_events
+
+
+class TestNullTelemetry:
+    def test_disabled_and_inert(self):
+        tele = NULL_TELEMETRY
+        assert tele.enabled is False
+        assert tele.metrics is None
+        assert tele.tracer is None
+        assert tele.progress is None
+        assert tele.trace_path is None
+        assert tele.events_written == 0
+
+    def test_span_is_shared_noop_context_manager(self):
+        with NULL_TELEMETRY.span("anything", attr=1) as span:
+            span.set(more=2)
+        assert NULL_TELEMETRY.span("a") is NULL_TELEMETRY.span("b")
+
+    def test_other_methods_are_noops(self):
+        NULL_TELEMETRY.event("progress", n=1)
+        NULL_TELEMETRY.phase("expand", 0.5)
+        NULL_TELEMETRY.meta(command="x")
+        NULL_TELEMETRY.flush()
+        NULL_TELEMETRY.close()
+
+
+class TestTelemetryCreate:
+    def test_default_bundle_has_metrics_and_null_sink(self):
+        tele = Telemetry.create()
+        assert tele.enabled is True
+        assert tele.metrics is not None
+        assert tele.trace_path is None
+        with tele.span("run"):
+            pass
+        assert tele.events_written == 2
+        tele.close()
+
+    def test_trace_path_opens_jsonl_sink(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tele = Telemetry.create(trace_path=str(path))
+        with tele.span("run", system="msi"):
+            tele.phase("expand", 0.1)
+        tele.close()
+        events = load_events(path)
+        assert [e["type"] for e in events] == [
+            "span_start", "phase", "span_end",
+        ]
+
+    def test_progress_reporter_wired_to_tracer(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        stream = io.StringIO()
+        tele = Telemetry.create(
+            trace_path=str(path), progress=True, stream=stream
+        )
+        tele.progress.tick(states=5)
+        tele.close()
+        assert "states=5" in stream.getvalue()
+        assert any(e["type"] == "progress" for e in load_events(path))
+
+    def test_write_metrics(self, tmp_path):
+        tele = Telemetry.create()
+        tele.metrics.counter("runs", "h").inc(3)
+        out = tmp_path / "metrics.json"
+        tele.write_metrics(out)
+        data = json.loads(out.read_text())
+        assert data["runs"]["series"][""] == 3
+        tele.close()
+
+
+class TestFromConfig:
+    def test_worker_gets_suffixed_sink_and_no_progress(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        config = SynthesisConfig(
+            telemetry=True, trace_path=str(path), progress=True
+        )
+        worker = Telemetry.from_config(config, worker_id=3)
+        assert worker.trace_path == f"{path}.worker-3"
+        assert worker.progress is None
+        worker.close()
+
+    def test_coordinator_keeps_plain_path(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        config = SynthesisConfig(telemetry=True, trace_path=str(path))
+        tele = Telemetry.from_config(config)
+        assert tele.trace_path == str(path)
+        tele.close()
+
+
+class TestResolveTelemetry:
+    def test_explicit_bundle_is_used_not_owned(self):
+        tele = Telemetry.create()
+        resolved, owns = resolve_telemetry(SynthesisConfig(), tele)
+        assert resolved is tele
+        assert owns is False
+        tele.close()
+
+    def test_config_activation_builds_owned_bundle(self, tmp_path):
+        config = SynthesisConfig(trace_path=str(tmp_path / "t.jsonl"))
+        resolved, owns = resolve_telemetry(config, None)
+        assert resolved.enabled is True
+        assert owns is True
+        resolved.close()
+
+    def test_disabled_config_resolves_to_null(self):
+        resolved, owns = resolve_telemetry(SynthesisConfig(), None)
+        assert resolved is NULL_TELEMETRY
+        assert owns is False

@@ -160,6 +160,91 @@ class TestMatrix:
         assert "unknown skeleton" in capsys.readouterr().err
 
 
+class TestTelemetry:
+    def test_synth_trace_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["synth", "figure2", "--trace", str(trace)]) == 0
+        lines = trace.read_text().splitlines()
+        assert lines
+        import json
+
+        events = [json.loads(line) for line in lines]
+        assert events[0]["type"] == "span_start"
+        assert events[0]["name"] == "synth"
+
+    def test_synth_metrics_out(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main(["synth", "figure2", "--metrics-out", str(out)]) == 0
+        import json
+
+        data = json.loads(out.read_text())
+        assert sum(
+            data["synth_candidates_evaluated"]["series"].values()
+        ) == 10
+
+    def test_verify_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "v.jsonl"
+        out = tmp_path / "m.json"
+        assert main([
+            "verify", "msi", "--caches", "2",
+            "--trace", str(trace), "--metrics-out", str(out),
+        ]) == 0
+        import json
+
+        events = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert events[0]["name"] == "verify"
+        data = json.loads(out.read_text())
+        assert sum(data["mc_states_visited"]["series"].values()) > 0
+
+    def test_progress_flag_emits_lines_on_stderr(self, capsys):
+        assert main(["synth", "figure2", "--progress"]) == 0
+        assert "[progress]" in capsys.readouterr().err
+
+    def test_no_progress_suppresses(self, capsys):
+        assert main(["synth", "figure2", "--no-progress"]) == 0
+        assert "[progress]" not in capsys.readouterr().err
+
+    def test_progress_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["synth", "figure2", "--progress", "--no-progress"])
+
+    def test_matrix_bare_trace_defaults_into_out_dir(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '{"name": "t", "include": [{"target": "figure2"}]}'
+        )
+        out = tmp_path / "out"
+        assert main([
+            "matrix", "--spec", str(spec), "--out", str(out), "--trace",
+        ]) == 0
+        assert (out / "trace.jsonl").exists()
+
+    def test_stats_renders_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["synth", "figure2", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "root span: synth" in out
+        assert "attributed to named phases" in out
+
+    def test_stats_missing_file_is_clean_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_stats_empty_trace_is_clean_error(self, tmp_path, capsys):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert main(["stats", str(trace)]) == 2
+        assert "empty trace" in capsys.readouterr().err
+
+    def test_stats_corrupt_trace_is_clean_error(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"type":"meta"}\n{corrupt\n{"type":"phase"}\n')
+        assert main(["stats", str(trace)]) == 2
+        assert capsys.readouterr().err
+
+
 class TestMisc:
     def test_list(self, capsys):
         assert main(["list"]) == 0

@@ -47,3 +47,53 @@ class TestEnableVerboseLogging:
         with caplog.at_level(logging.INFO, logger="repro"):
             get_logger("test").info("footprints ready")
         assert "footprints ready" in caplog.text
+
+    def test_reentry_returns_same_handler(self):
+        first = enable_verbose_logging()
+        second = enable_verbose_logging()
+        assert first is second
+
+    def test_reentry_with_different_level_retunes_handler(self):
+        handler = enable_verbose_logging(logging.INFO)
+        assert handler.level == logging.INFO
+        again = enable_verbose_logging(logging.DEBUG)
+        assert again is handler
+        assert handler.level == logging.DEBUG
+        assert logging.getLogger("repro").level == logging.DEBUG
+        back = enable_verbose_logging(logging.WARNING)
+        assert back is handler
+        assert handler.level == logging.WARNING
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_many_reentries_attach_exactly_one_handler(self):
+        for level in (logging.INFO, logging.DEBUG, logging.INFO,
+                      logging.ERROR, logging.DEBUG):
+            enable_verbose_logging(level)
+        logger = logging.getLogger("repro")
+        assert len(logger.handlers) == 1
+
+    def test_application_file_handler_is_not_counted_as_ours(self, tmp_path):
+        # FileHandler subclasses StreamHandler; the old isinstance check
+        # mistook it for the library handler and never attached one.
+        logger = logging.getLogger("repro")
+        app_handler = logging.FileHandler(tmp_path / "app.log")
+        logger.addHandler(app_handler)
+        try:
+            ours = enable_verbose_logging()
+            assert ours is not app_handler
+            assert ours in logger.handlers
+            assert app_handler in logger.handlers  # untouched
+            assert app_handler.level == logging.NOTSET
+        finally:
+            app_handler.close()
+
+    def test_telemetry_create_routes_verbose(self):
+        from repro.obs import Telemetry
+
+        tele = Telemetry.create(verbose=True)
+        try:
+            logger = logging.getLogger("repro")
+            assert logger.level == logging.INFO
+            assert len(logger.handlers) == 1
+        finally:
+            tele.close()

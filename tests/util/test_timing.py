@@ -33,3 +33,51 @@ def test_context_manager():
     with Stopwatch() as watch:
         pass
     assert watch.elapsed >= 0.0
+
+
+def test_elapsed_while_running_is_live_and_monotonic():
+    watch = Stopwatch.started()
+    first = watch.elapsed
+    # A second read must never go backwards while the watch runs, and
+    # reading must not stop it.
+    second = watch.elapsed
+    assert second >= first >= 0.0
+    total = watch.stop()
+    assert total >= second
+
+
+def test_elapsed_frozen_after_stop():
+    watch = Stopwatch.started()
+    frozen = watch.stop()
+    assert watch.elapsed == frozen
+    assert watch.elapsed == frozen  # stable across reads
+
+
+def test_context_manager_reentry_accumulates():
+    watch = Stopwatch()
+    with watch:
+        pass
+    first = watch.elapsed
+    with watch:  # sequential re-entry restarts and accumulates
+        pass
+    assert watch.elapsed >= first
+
+
+def test_nested_context_rejected():
+    watch = Stopwatch()
+    with watch:
+        with pytest.raises(RuntimeError):
+            with watch:
+                pass
+
+
+def test_context_exit_stops_on_exception():
+    watch = Stopwatch()
+    with pytest.raises(ValueError):
+        with watch:
+            raise ValueError("boom")
+    frozen = watch.elapsed
+    assert frozen >= 0.0
+    assert watch.elapsed == frozen  # stopped despite the exception
+    watch.start()  # and restartable afterwards
+    watch.stop()
