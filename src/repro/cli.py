@@ -175,6 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-por", action="store_true",
         help="explicitly disable partial-order reduction (the default)",
     )
+    packed_group = verify.add_mutually_exclusive_group()
+    packed_group.add_argument(
+        "--packed", action="store_true",
+        help="run on the packed-state kernel (the default where the "
+             "protocol provides a state codec; exact, ~10x faster)",
+    )
+    packed_group.add_argument(
+        "--no-packed", action="store_true",
+        help="force the object-path kernel (the ablation baseline)",
+    )
     verify.add_argument("--max-states", type=int, default=None)
     _add_telemetry_flags(verify)
 
@@ -219,6 +229,17 @@ def build_parser() -> argparse.ArgumentParser:
     synth_por.add_argument(
         "--no-por", action="store_true",
         help="explicitly disable partial-order reduction (the default)",
+    )
+    synth_packed = synth.add_mutually_exclusive_group()
+    synth_packed.add_argument(
+        "--packed", action="store_true",
+        help="evaluate candidates on the packed-state kernel (the "
+             "default where the protocol provides a state codec)",
+    )
+    synth_packed.add_argument(
+        "--no-packed", action="store_true",
+        help="force the object-path kernel for candidate evaluation "
+             "(the ablation baseline)",
     )
     synth.add_argument("--refined", action="store_true",
                        help="refined trace-based pruning patterns")
@@ -266,6 +287,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every cell with partial-order reduction disabled "
              "(overrides the spec; same journal caveat as --por)",
     )
+    matrix_packed = matrix.add_mutually_exclusive_group()
+    matrix_packed.add_argument(
+        "--packed", action="store_true",
+        help="run every cell on the packed-state kernel (overrides the "
+             "spec; same journal caveat as --por)",
+    )
+    matrix_packed.add_argument(
+        "--no-packed", action="store_true",
+        help="run every cell on the object-path kernel (overrides the "
+             "spec; same journal caveat as --por)",
+    )
     matrix.add_argument(
         "--list-presets", action="store_true",
         help="print the built-in presets and exit",
@@ -305,6 +337,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     tele = _build_telemetry(args)
     explorer = make_explorer(
         strategy, system, limits=limits, partial_order=args.por,
+        packed=not args.no_packed,
         telemetry=tele,
     )
     if tele is not None:
@@ -367,6 +400,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
         compute_fingerprints=args.groups,
         explorer=args.explorer,
         partial_order=args.por,
+        packed=not args.no_packed,
         # The config mirrors the CLI telemetry so worker *processes* (which
         # only see the config) open their own per-worker sinks.
         telemetry=tele is not None,
@@ -433,6 +467,9 @@ def cmd_matrix(args: argparse.Namespace) -> int:
                   "(or --list-presets)", file=sys.stderr)
             return 2
         force_por = True if args.por else (False if args.no_por else None)
+        force_packed = (
+            True if args.packed else (False if args.no_packed else None)
+        )
         out_dir = args.out or f"matrix-runs/{spec.name}"
         if args.trace == "":
             # The default trace lands inside the output directory, whose
@@ -441,7 +478,7 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         tele = _build_telemetry(args, default_trace=f"{out_dir}/trace.jsonl")
         runner = MatrixRunner(
             spec, out_dir, fresh=args.fresh, log=print, force_por=force_por,
-            telemetry=tele,
+            force_packed=force_packed, telemetry=tele,
         )
         try:
             if tele is not None:

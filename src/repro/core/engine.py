@@ -50,7 +50,6 @@ from repro.mc.kernel import (
     ExplorationLimits,
     make_explorer,
 )
-from repro.mc.hashing import fingerprint_state_set
 from repro.mc.result import VerificationResult
 from repro.mc.system import TransitionSystem
 from repro.obs import NULL_TELEMETRY, Telemetry
@@ -146,6 +145,18 @@ class SynthesisConfig:
             at these scales is states visited (memory and the large-model
             trajectory), not wall-clock; opt in with ``--por`` and ablate
             back with ``--no-por``.
+        packed: run candidate model checking on the packed-state kernel
+            (:mod:`repro.mc.packed`) when the system carries a codec
+            spec: states are encoded into fixed-layout vectors, interned
+            in a slab, and canonicalised by table-driven index/value
+            remaps, with guard masks and rule firings memoised per
+            interned state.  Exact by construction — the codec's rename
+            tables evaluate the very expressions the object permuter
+            applies — so verdicts, state counts, and traces are
+            identical to the object path (traces decode back to real
+            states for replay).  On by default; ``--no-packed`` ablates
+            back to the object path, and systems without a codec spec
+            fall back silently.
         telemetry: enable the observability layer (:mod:`repro.obs`) —
             metrics registry, trace spans, kernel phase attribution —
             even without a trace file (metrics land in the report and
@@ -177,6 +188,7 @@ class SynthesisConfig:
     record_traces: bool = True
     explorer: str = "bfs"
     partial_order: bool = False
+    packed: bool = True
     telemetry: bool = False
     trace_path: Optional[str] = None
     progress: bool = False
@@ -191,6 +203,10 @@ class SynthesisConfig:
         if not isinstance(self.partial_order, bool):
             raise SynthesisError(
                 f"partial_order must be a bool, got {self.partial_order!r}"
+            )
+        if not isinstance(self.packed, bool):
+            raise SynthesisError(
+                f"packed must be a bool, got {self.packed!r}"
             )
         for knob in ("solution_limit", "max_evaluations", "max_passes"):
             value = getattr(self, knob)
@@ -512,6 +528,7 @@ class SynthesisCore:
             resume_from=resume,
             collect_checkpoint=collect,
             partial_order=self.config.partial_order_active,
+            packed=self.config.packed,
             telemetry=self.telemetry if self.telemetry.enabled else None,
         )
         result = explorer.run()
@@ -582,6 +599,7 @@ class SynthesisCore:
                 resume_from=resume,
                 collect_checkpoint=True,
                 partial_order=self.config.partial_order_active,
+                packed=self.config.packed,
                 telemetry=tele if tele.enabled else None,
             )
             explorer.run()
@@ -658,6 +676,7 @@ class SynthesisCore:
         report.prefix_cache_builds = builds
         report.prefix_states_reused = reused
         report.partial_order = self.config.partial_order_active
+        report.packed = self.config.packed
         report.por_rules_skipped = self.por_rules_skipped
         report.ample_states = self.ample_states
         report.peak_states = self.peak_states
@@ -732,7 +751,10 @@ class SynthesisCore:
                 ),
                 states_visited=result.stats.states_visited,
                 fingerprint=(
-                    fingerprint_state_set(explorer.visited_states.keys())
+                    # Packed explorers key visited by slab id; this decodes
+                    # and re-canonicalises so fingerprints stay bit-identical
+                    # across packed and object runs.
+                    explorer.fingerprint_visited()
                     if self.config.compute_fingerprints
                     else None
                 ),

@@ -88,6 +88,10 @@ class SynthesisReport:
     partial_order: bool = False
     por_rules_skipped: int = 0
     ample_states: int = 0
+    #: packed-state kernel (see repro.mc.packed): whether candidate runs
+    #: were asked to use the fixed-layout encoding (systems without a
+    #: codec spec fall back to the object path silently)
+    packed: bool = False
     #: largest visited-state count of any single candidate run — the
     #: run's memory high-water mark (surfaced in the matrix journal)
     peak_states: int = 0
@@ -183,6 +187,8 @@ class SynthesisReport:
                 f"partial order:     {self.por_rules_skipped:,} firings "
                 f"deferred at {self.ample_states:,} reduced states",
             )
+        if self.packed:
+            lines.insert(-1, "packed kernel:     on")
         if self.prefix_cache_hits or self.prefix_cache_builds:
             lines.insert(
                 -1,

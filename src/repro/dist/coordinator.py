@@ -320,6 +320,7 @@ class DistributedSynthesisEngine:
             success_patterns=core.success_table.constraints_since(),
             explorer=config.explorer,
             partial_order=config.partial_order_active,
+            packed=config.packed,
         )
         watermarks: Dict[int, Tuple[int, int]] = {}
         for worker_id, tasks in enumerate(self._task_queues):

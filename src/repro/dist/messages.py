@@ -107,6 +107,11 @@ class PassStart:
     #: so a worker running the other mode would corrupt position
     #: correlation
     partial_order: bool = False
+    #: whether the coordinator model checks on the packed-state kernel.
+    #: Packed mode is verdict- and order-exact, but solution fingerprints
+    #: and prefix checkpoints are mode-specific, so workers refuse to run
+    #: the other mode rather than silently mixing them.
+    packed: bool = True
 
 
 @dataclass(frozen=True)

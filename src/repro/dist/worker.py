@@ -156,6 +156,13 @@ class BatchRunner:
                 f"{self._config.partial_order_active} — mixed reduction "
                 f"modes would desynchronise hole discovery order"
             )
+        if msg.packed != self._config.packed:
+            raise SynthesisError(
+                f"coordinator model checks with packed={msg.packed} but "
+                f"this worker resolves it to {self._config.packed} — "
+                f"mixed kernel modes would make solution fingerprints "
+                f"and prefix checkpoints incomparable"
+            )
         core = SynthesisCore(
             self.system,
             replace(self._config),

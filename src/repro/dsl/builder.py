@@ -143,6 +143,7 @@ class ProtocolBuilder:
         self._coverage: List[CoverageProperty] = []
         self._deadlock: DeadlockPolicy = DeadlockPolicy.fail()
         self._global_rename: Optional[Callable[[Any, Tuple[int, ...]], Any]] = None
+        self._global_schema: Any = None
 
     def add_controller(self, spec: ControllerSpec) -> "ProtocolBuilder":
         """Register a controller; returns self for chaining."""
@@ -168,9 +169,24 @@ class ProtocolBuilder:
         """How to rename process ids inside the global state (for symmetry).
 
         ``rename(glob, mapping) -> glob``.  Required when the global state
-        references process indices and symmetry is enabled.
+        references process indices and symmetry is enabled (unless a
+        global schema is set, whose field renames then apply).
         """
         self._global_rename = rename
+        return self
+
+    def set_global_schema(self, schema) -> "ProtocolBuilder":
+        """Declare the global state's :class:`~repro.dsl.fields.Schema`.
+
+        The schema's typed fields (``IdField``/``IdSetField`` rename
+        hooks) give every global location a known finite domain, which
+        lets :meth:`build` compile a fully table-driven packed-state
+        codec (:mod:`repro.mc.packed`) instead of treating the global
+        record as one opaque atom.  When no explicit global rename was
+        set, ``schema.rename`` also becomes the object-path rename, so
+        both layers share one source of truth.
+        """
+        self._global_schema = schema
         return self
 
     # -- compilation -------------------------------------------------------
@@ -235,15 +251,20 @@ class ProtocolBuilder:
                 for proc in procs:
                     rules.append(self._make_rule(spec, transition, proc))
 
+        schema = self._global_schema
+        global_rename = self._global_rename
+        if global_rename is None and schema is not None:
+            global_rename = schema.rename
+
         canonicalize = None
         if self.symmetry and self.n_procs > 1:
-            global_rename = self._global_rename or (lambda glob, mapping: glob)
+            rename = global_rename or (lambda glob, mapping: glob)
 
             def permute(state: DslState, mapping: Tuple[int, ...]) -> DslState:
                 procs, glob, net = state
                 return (
                     procs.renamed(mapping),
-                    global_rename(glob, mapping),
+                    rename(glob, mapping),
                     net.renamed(mapping),
                 )
 
@@ -263,6 +284,34 @@ class ProtocolBuilder:
             coverage=self._coverage,
             deadlock=self._deadlock,
             canonicalize=canonicalize,
+            packed_spec=self._packed_spec(schema, global_rename),
+        )
+
+    def _packed_spec(self, schema, global_rename):
+        """The packed-state codec spec for the compiled system.
+
+        With a global schema the codec is fully table-driven (the typed
+        fields declare every replica-indexed location); otherwise the
+        global state is one interned atom renamed through the user's
+        global rename — exact either way, since both reuse the very
+        expressions the object permuter applies.
+        """
+        from repro.mc.packed import (
+            PackedSpec,
+            codec_for_opaque_global,
+            codec_from_schema,
+        )
+
+        n_procs = self.n_procs
+        symmetry = self.symmetry
+        if schema is not None:
+            return PackedSpec(
+                lambda: codec_from_schema(schema, n_procs, symmetry=symmetry)
+            )
+        return PackedSpec(
+            lambda: codec_for_opaque_global(
+                n_procs, global_rename, symmetry=symmetry
+            )
         )
 
 

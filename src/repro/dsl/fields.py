@@ -76,31 +76,36 @@ class RangeField(Field):
 class IdField(Field):
     """A process index (scalarset member), optionally nullable.
 
-    ``None`` models "no process" (e.g. no current owner).  Under a
-    permutation, non-None values are renamed.
+    ``sentinel`` (default ``None``) is the value that models "no process"
+    (e.g. no current owner); protocols using the Murphi-style ``-1``
+    convention declare ``sentinel=-1``.  Under a permutation, non-sentinel
+    values are renamed.
     """
 
-    def __init__(self, n_procs: int, allow_none: bool = False) -> None:
+    def __init__(
+        self, n_procs: int, allow_none: bool = False, sentinel: Any = None
+    ) -> None:
         if n_procs < 1:
             raise ModelError("IdField needs at least one process")
         self.n_procs = n_procs
         self.allow_none = allow_none
+        self.sentinel = sentinel
 
     def validate(self, name: str, value: Any) -> None:
-        if value is None:
+        if value == self.sentinel and type(value) is type(self.sentinel):
             if not self.allow_none:
-                raise ModelError(f"field {name!r}: None not allowed")
+                raise ModelError(f"field {name!r}: {value!r} not allowed")
             return
         if not isinstance(value, int) or isinstance(value, bool):
             raise ModelError(f"field {name!r}: {value!r} is not a process id")
         if not 0 <= value < self.n_procs:
-            suffix = " (or None)" if self.allow_none else ""
+            suffix = f" (or {self.sentinel})" if self.allow_none else ""
             raise ModelError(
                 f"field {name!r}: {value} not in [0, {self.n_procs}){suffix}"
             )
 
     def rename(self, value: Any, mapping: Tuple[int, ...]) -> Any:
-        return value if value is None else mapping[value]
+        return value if value == self.sentinel else mapping[value]
 
 
 class IdSetField(Field):

@@ -62,6 +62,7 @@ def _synthesis_config(cell: CellSpec) -> SynthesisConfig:
         generalise_conflicts=cell.generalise,
         prefix_reuse=cell.prefix_reuse,
         partial_order=cell.por,
+        packed=cell.packed,
         solution_limit=cell.solution_limit,
         max_evaluations=cell.max_evaluations,
         explorer=cell.explorer,
@@ -115,7 +116,7 @@ def _run_verify_cell(cell: CellSpec, telemetry=None) -> Dict[str, Any]:
     start = time.perf_counter()
     result = make_explorer(
         cell.explorer, system, limits=limits, partial_order=cell.por,
-        telemetry=kernel_telemetry,
+        packed=cell.packed, telemetry=kernel_telemetry,
     ).run()
     elapsed = time.perf_counter() - start
     return {
@@ -389,6 +390,7 @@ class MatrixRunner:
         fresh: bool = False,
         log: Optional[Callable[[str], None]] = None,
         force_por: Optional[bool] = None,
+        force_packed: Optional[bool] = None,
         telemetry=None,
     ) -> None:
         self.spec = spec
@@ -406,6 +408,12 @@ class MatrixRunner:
             # override wants --fresh or a separate --out.
             self.cells = [
                 dataclasses.replace(cell, por=force_por)
+                for cell in self.cells
+            ]
+        if force_packed is not None:
+            # Same post-expansion rule as force_por, for the same reason.
+            self.cells = [
+                dataclasses.replace(cell, packed=force_packed)
                 for cell in self.cells
             ]
         self.out_dir = Path(out_dir)

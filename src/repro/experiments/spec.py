@@ -63,6 +63,7 @@ class CellSpec:
     generalise: bool = True
     prefix_reuse: bool = True
     por: bool = False
+    packed: bool = True
     evictions: bool = False
     symmetry: bool = True
     solution_limit: Optional[int] = None
@@ -87,6 +88,7 @@ _FLAG_TAGS = (
     ("generalise", False, "nogen"),
     ("prefix_reuse", False, "noreuse"),
     ("por", True, "por"),
+    ("packed", False, "nopacked"),
     ("evictions", True, "evict"),
     ("symmetry", False, "nosym"),
 )
@@ -153,8 +155,8 @@ def make_cell(values: Dict[str, Any]) -> CellSpec:
                 f"cell {cell.id!r}: unknown skeleton {cell.target!r}; "
                 f"available: {', '.join(sorted(SKELETON_CATALOG))}"
             )
-    for flag in ("pruning", "generalise", "prefix_reuse", "por", "evictions",
-                 "symmetry"):
+    for flag in ("pruning", "generalise", "prefix_reuse", "por", "packed",
+                 "evictions", "symmetry"):
         if not isinstance(getattr(cell, flag), bool):
             raise ExperimentError(
                 f"cell {cell.id!r}: {flag} must be a bool, "

@@ -76,6 +76,8 @@ class ExecutionContext:
         "run_executed_holes",
         "_firing_executed",
         "_firing_wildcard",
+        "_recording",
+        "_record",
     )
 
     def __init__(self, resolver: Any = None) -> None:
@@ -84,6 +86,8 @@ class ExecutionContext:
         self.run_executed_holes: Set[Any] = set()
         self._firing_executed: Set[Any] = set()
         self._firing_wildcard: bool = False
+        self._recording: bool = False
+        self._record: list = []
 
     def begin_firing(self) -> None:
         """Reset per-firing tracking; called by the explorer before each rule."""
@@ -100,6 +104,22 @@ class ExecutionContext:
         """Whether the current firing hit a wildcard."""
         return self._firing_wildcard
 
+    def begin_recording(self) -> None:
+        """Start capturing this firing's hole-resolution path.
+
+        Used by the packed runtime's firing memo: the recorded
+        ``(hole, action)`` sequence — with a trailing ``(hole, None)`` if
+        the firing hit a wildcard — keys the memoised successors.
+        """
+        self._recording = True
+        self._record = []
+
+    def end_recording(self) -> list:
+        """Stop recording and return the captured resolution path."""
+        self._recording = False
+        record, self._record = self._record, []
+        return record
+
     def resolve(self, hole: Any) -> Any:
         """Resolve ``hole`` to its currently assigned action.
 
@@ -112,7 +132,11 @@ class ExecutionContext:
         except WildcardEncountered:
             self._firing_wildcard = True
             self.run_wildcard_encountered = True
+            if self._recording:
+                self._record.append((hole, None))
             raise
         self._firing_executed.add(hole)
         self.run_executed_holes.add(hole)
+        if self._recording:
+            self._record.append((hole, action))
         return action

@@ -35,17 +35,31 @@ _TAG_OTHER = 0x3F  # "?"
 
 def fingerprint_bytes(data: bytes) -> int:
     """64-bit FNV-1a hash of a byte string."""
-    value = _FNV_OFFSET
-    for byte in data:
-        value ^= byte
-        value = (value * _FNV_PRIME) & _MASK
-    return value
+    return _mix_bytes(_FNV_OFFSET, data)
 
 
 def _mix_bytes(value: int, data: bytes) -> int:
-    for byte in data:
-        value ^= byte
-        value = (value * _FNV_PRIME) & _MASK
+    # Consume 8-byte chunks via one int.from_bytes each instead of per-byte
+    # iteration: the unrolled shift/XOR/multiply steps are byte-for-byte the
+    # same FNV-1a recurrence as the scalar loop (each XORed operand is < 256
+    # and the running value stays masked to 64 bits at every step), so the
+    # output is identical — pinned on fixed vectors in tests/mc/test_hashing.py.
+    prime = _FNV_PRIME
+    mask = _MASK
+    n_chunks = len(data) >> 3
+    offset = n_chunks << 3
+    for i in range(0, offset, 8):
+        chunk = int.from_bytes(data[i:i + 8], "little")
+        value = ((value ^ (chunk & 0xFF)) * prime) & mask
+        value = ((value ^ ((chunk >> 8) & 0xFF)) * prime) & mask
+        value = ((value ^ ((chunk >> 16) & 0xFF)) * prime) & mask
+        value = ((value ^ ((chunk >> 24) & 0xFF)) * prime) & mask
+        value = ((value ^ ((chunk >> 32) & 0xFF)) * prime) & mask
+        value = ((value ^ ((chunk >> 40) & 0xFF)) * prime) & mask
+        value = ((value ^ ((chunk >> 48) & 0xFF)) * prime) & mask
+        value = ((value ^ (chunk >> 56)) * prime) & mask
+    for byte in data[offset:]:
+        value = ((value ^ byte) * prime) & mask
     return value
 
 

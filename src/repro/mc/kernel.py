@@ -124,6 +124,14 @@ class ExplorationCheckpoint:
             cross-mode resume.
         por_rules_skipped / ample_states: counter seeds for the POR
             statistics, like the other counters.
+        packed: whether the producing run explored in packed mode
+            (:mod:`repro.mc.packed`).  Packed checkpoints key ``visited``
+            by slab id and store slab ids in ``originals``, so they are
+            only meaningful against the same in-process
+            :class:`~repro.mc.packed.PackedRuntime`; :meth:`run` refuses
+            a cross-mode resume.  The prefix cache and all three backends
+            keep runtime and checkpoints within one process, so this
+            never crosses a process boundary.
     """
 
     visited: Dict[Any, int]
@@ -140,6 +148,7 @@ class ExplorationCheckpoint:
     reduction: str = "full"
     por_rules_skipped: int = 0
     ample_states: int = 0
+    packed: bool = False
 
 
 class FrontierStrategy:
@@ -234,6 +243,18 @@ class ExplorationKernel:
             frontier-based DFS with no path stack — conservatively
             requires an unvisited one.  Counterexample traces under POR
             are valid but not always depth-minimal.
+        packed: run the hot path on packed state encodings
+            (:mod:`repro.mc.packed`) when the system carries a
+            ``packed_spec``.  Successor dedup, canonicalisation, and the
+            property/deadlock memos then operate on slab ids with
+            table-driven orbit minimisation; rule firing, traces, POR
+            ample selection, and counterexample replay still go through
+            real state objects (``PackedRuntime.state_of``), so verdicts,
+            state counts, and solution sets are identical to object mode.
+            Silently falls back to the object path when the system has no
+            codec.  Defaults to off at this layer — the engine/CLI layers
+            default it on — so direct kernel users (and the orbit-cache
+            counters their tests pin) are unaffected.
     """
 
     def __init__(
@@ -249,6 +270,7 @@ class ExplorationKernel:
         collect_checkpoint: bool = False,
         partial_order: bool = False,
         telemetry: Any = None,
+        packed: bool = False,
     ) -> None:
         self.partial_order = partial_order
         if isinstance(strategy, str):
@@ -261,6 +283,13 @@ class ExplorationKernel:
                 ) from None
         self.system = system
         self.strategy = strategy
+        #: the shared :class:`~repro.mc.packed.PackedRuntime` when packed
+        #: mode is on and the system has a codec; ``None`` otherwise
+        self.packed_runtime = None
+        if packed:
+            spec = getattr(system, "packed_spec", None)
+            if spec is not None:
+                self.packed_runtime = spec.runtime(system)
         self.ctx = ExecutionContext(resolver)
         self.limits = limits or ExplorationLimits()
         self.record_traces = record_traces
@@ -296,11 +325,20 @@ class ExplorationKernel:
         canonicalize = system.canonicalize
         limits = self.limits
         visited = self.visited_states
+        rt = self.packed_runtime
+        packed = rt is not None
         all_rules = tuple(system.rules)
         #: rule indices in the strategy's firing order (system indexing,
         #: so POR bitmasks line up)
         ordered_indices = tuple(
             self.strategy.order_rules(tuple(range(len(all_rules))))
+        )
+        #: when the strategy's order is ascending (BFS) or descending (DFS)
+        #: the packed runtime's memoised enabled tuple can be reused verbatim
+        #: instead of re-filtering the guard bitmask at every expansion
+        order_ascending = ordered_indices == tuple(range(len(all_rules)))
+        order_descending = ordered_indices == tuple(
+            reversed(range(len(all_rules)))
         )
         tele = self.telemetry
         instrumented = tele is not None and tele.enabled
@@ -329,6 +367,15 @@ class ExplorationKernel:
                 f"cannot resume a {reduction_mode!r}-mode exploration from a "
                 f"{self.resume_from.reduction!r}-mode checkpoint; partial-order "
                 f"reduction must match across a prefix chain"
+            )
+        if self.resume_from is not None and self.resume_from.packed != packed:
+            raise ModelError(
+                "cannot resume a {}-mode exploration from a {}-mode "
+                "checkpoint; packed state encoding must match across a "
+                "prefix chain".format(
+                    "packed" if packed else "object",
+                    "packed" if self.resume_from.packed else "object",
+                )
             )
         fifo_proviso = isinstance(self.strategy, FifoFrontier)
         parents: List[Optional[Tuple[int, str]]] = []
@@ -389,6 +436,8 @@ class ExplorationKernel:
         # Under the threads backend concurrent runs share the counter, so a
         # run's delta can include other threads' hits — diagnostics only.
         cache_hits_base = getattr(canon_source, "hits", 0)
+        #: packed-runtime counter snapshot, for per-run pack_* metric deltas
+        pack_base = rt.counters() if instrumented and packed else None
 
         frontier: deque = deque()
 
@@ -396,10 +445,22 @@ class ExplorationKernel:
                      path_holes: frozenset) -> Tuple[int, bool]:
             """Canonicalise, dedup, property-check, and enqueue a state.
 
+            In packed mode ``state`` is a slab id: canonicalisation is the
+            table-driven :meth:`~repro.mc.packed.PackedRuntime.canon_id`
+            and the visited set is keyed by the canonical slab id.
+
             Returns ``(state_id, is_new)``.
             """
             nonlocal states_visited
-            canon = canonicalize(state)
+            if packed:
+                if instrumented:
+                    canon_begin = clock()
+                    canon = rt.canon_id(state)
+                    canon_acc[0] += clock() - canon_begin
+                else:
+                    canon = rt.canon_id(state)
+            else:
+                canon = canonicalize(state)
             known = visited.get(canon)
             if known is not None:
                 if self.capture_graph is not None and parent is not None:
@@ -413,11 +474,19 @@ class ExplorationKernel:
                 hole_paths.append(path_holes)
             states_visited += 1
             if pending_coverage:
-                for prop in list(pending_coverage):
-                    if prop.satisfied_by(state):
-                        pending_coverage.remove(prop)
+                if packed:
+                    satisfied = rt.coverage_names(state)
+                    for prop in list(pending_coverage):
+                        if prop.name in satisfied:
+                            pending_coverage.remove(prop)
+                else:
+                    for prop in list(pending_coverage):
+                        if prop.satisfied_by(state):
+                            pending_coverage.remove(prop)
             if self.capture_graph is not None:
-                self.capture_graph.add_state(sid, state, depth)
+                self.capture_graph.add_state(
+                    sid, rt.state_of(state) if packed else state, depth
+                )
                 if parent is not None:
                     self.capture_graph.add_edge(parent[0], sid, parent[1])
             frontier.append((state, sid, depth))
@@ -430,8 +499,11 @@ class ExplorationKernel:
             cursor: Optional[int] = sid
             while cursor is not None:
                 parent = parents[cursor]
+                original = originals[cursor]
+                if packed:
+                    original = rt.state_of(original)
                 steps.append(
-                    TraceStep(parent[1] if parent else None, originals[cursor])
+                    TraceStep(parent[1] if parent else None, original)
                 )
                 cursor = parent[0] if parent else None
             steps.reverse()
@@ -464,6 +536,14 @@ class ExplorationKernel:
             self.phase_seconds = phases
             for name, seconds in phases.items():
                 tele.phase(name, seconds)
+            if pack_base is not None:
+                metrics = tele.metrics
+                for name, value in rt.counters().items():
+                    delta = value - pack_base[name]
+                    if delta:
+                        metrics.counter(
+                            name, "packed-kernel counter (run delta)"
+                        ).inc(delta)
 
         def stats() -> RunStats:
             if instrumented:
@@ -519,8 +599,20 @@ class ExplorationKernel:
         else:
             # Seed with initial states (checking invariants on them too).
             for state in system.initial_states():
+                if packed:
+                    state = rt.intern(state)
                 sid, is_new = register(state, None, 0, frozenset())
                 if not is_new:
+                    continue
+                if packed:
+                    violated = rt.invariant_violation(state)
+                    if violated is not None:
+                        return failure(
+                            FailureKind.INVARIANT,
+                            f"invariant {violated!r} violated in an "
+                            f"initial state",
+                            sid,
+                        )
                     continue
                 for invariant in system.invariants:
                     if not invariant.holds(state):
@@ -558,13 +650,28 @@ class ExplorationKernel:
 
             ample: Optional[frozenset] = None
             enabled: Sequence[int] = ordered_indices
+            if packed:
+                # ``state`` is a slab id; the guard verdicts are memoised
+                # per interned state, so re-visits skip the guard calls.
+                entry = rt.enabled_entry(state)
+                if order_ascending:
+                    enabled = entry[1]
+                elif order_descending:
+                    enabled = entry[1][::-1]
+                else:
+                    guard_mask = entry[0]
+                    enabled = [
+                        index for index in ordered_indices
+                        if (guard_mask >> index) & 1
+                    ]
             if por is not None:
                 if instrumented:
                     ample_begin = clock()
-                enabled = [
-                    index for index in ordered_indices
-                    if all_rules[index].guard(state)
-                ]
+                if not packed:
+                    enabled = [
+                        index for index in ordered_indices
+                        if all_rules[index].guard(state)
+                    ]
                 if len(enabled) >= 2:
                     mask = 0
                     for index in enabled:
@@ -572,7 +679,9 @@ class ExplorationKernel:
                     visible = por.visible_mask_for(
                         prop.name for prop in pending_coverage
                     )
-                    chosen = por.ample(mask, state, visible)
+                    chosen = por.ample(
+                        mask, rt.state_of(state) if packed else state, visible
+                    )
                     if chosen is not None:
                         ample = frozenset(chosen)
                 if instrumented:
@@ -594,7 +703,10 @@ class ExplorationKernel:
                     attempts += 1
                     ctx.begin_firing()
                     try:
-                        successors = rule.fire(state, ctx)
+                        if packed:
+                            successors = rt.fire(state, index, ctx)
+                        else:
+                            successors = rule.fire(state, ctx)
                     except WildcardEncountered:
                         cut_here = True
                         wildcard_cuts += 1
@@ -617,6 +729,15 @@ class ExplorationKernel:
                             proviso_ok = True
                         if not is_new:
                             continue
+                        if packed:
+                            violated = rt.invariant_violation(successor)
+                            if violated is not None:
+                                return failure(
+                                    FailureKind.INVARIANT,
+                                    f"invariant {violated!r} violated",
+                                    new_sid,
+                                )
+                            continue
                         for invariant in system.invariants:
                             if not invariant.holds(successor):
                                 return failure(
@@ -631,7 +752,7 @@ class ExplorationKernel:
             outcome = fire_indices(
                 enabled if ample is None
                 else [index for index in enabled if index in ample],
-                check_guard=por is None,
+                check_guard=por is None and not packed,
             )
             if outcome is not None:
                 if instrumented:
@@ -660,7 +781,8 @@ class ExplorationKernel:
             if cut_here:
                 cut_states.append((sid, depth))
             elif not produced_successor:
-                if system.deadlock.is_deadlock(state):
+                if (rt.is_deadlock(state) if packed
+                        else system.deadlock.is_deadlock(state)):
                     return failure(
                         FailureKind.DEADLOCK,
                         "deadlock: no enabled transitions",
@@ -687,6 +809,7 @@ class ExplorationKernel:
                 reduction=reduction_mode,
                 por_rules_skipped=por_rules_skipped,
                 ample_states=ample_states,
+                packed=packed,
             )
             if instrumented:
                 checkpoint_acc[0] += clock() - checkpoint_begin
@@ -722,6 +845,28 @@ class ExplorationKernel:
             executed_holes=frozenset(ctx.run_executed_holes),
         )
 
+    def fingerprint_visited(self) -> int:
+        """Behaviour fingerprint of the visited set, identical across modes.
+
+        Object mode fingerprints the canonical states keyed in
+        :attr:`visited_states` directly.  Packed mode keys that dict by
+        canonical slab ids whose *representative* is the packed-layout
+        minimum — a different (orbit-equivalent) member than the object
+        canonicaliser's — so each is decoded and re-canonicalised through
+        the system's object canonicaliser, which is an orbit function:
+        the resulting values (and the XOR-combined set fingerprint) are
+        bit-identical to an object-mode run's.
+        """
+        from repro.mc.hashing import fingerprint_state_set
+
+        rt = self.packed_runtime
+        if rt is None:
+            return fingerprint_state_set(self.visited_states)
+        canonicalize = self.system.canonicalize
+        return fingerprint_state_set(
+            canonicalize(rt.state_of(rid)) for rid in self.visited_states
+        )
+
 
 def make_explorer(
     strategy: str,
@@ -735,6 +880,7 @@ def make_explorer(
     collect_checkpoint: bool = False,
     partial_order: bool = False,
     telemetry: Any = None,
+    packed: bool = False,
 ) -> ExplorationKernel:
     """Build a kernel for a registered strategy name (``bfs``/``dfs``).
 
@@ -755,4 +901,5 @@ def make_explorer(
         collect_checkpoint=collect_checkpoint,
         partial_order=partial_order,
         telemetry=telemetry,
+        packed=packed,
     )

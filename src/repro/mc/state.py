@@ -36,13 +36,23 @@ class Record:
         object.__setattr__(self, "_hash", hash(self._fields))
 
     def update(self, **changes: Any) -> "Record":
-        """A copy with the given fields replaced (unknown names rejected)."""
-        current: Dict[str, Any] = dict(self._fields)
-        for name in changes:
-            if name not in current:
-                raise AttributeError(f"Record has no field {name!r}")
-        current.update(changes)
-        return Record(**current)
+        """A copy with the given fields replaced (unknown names rejected).
+
+        ``_fields`` is already sorted, so the copy merges replacements in
+        one pass instead of rebuilding a dict and re-sorting.
+        """
+        merged = tuple(
+            (name, changes.pop(name)) if name in changes else pair
+            for pair in self._fields
+            for name in (pair[0],)
+        )
+        if changes:
+            name = next(iter(changes))
+            raise AttributeError(f"Record has no field {name!r}")
+        record = object.__new__(Record)
+        object.__setattr__(record, "_fields", merged)
+        object.__setattr__(record, "_hash", hash(merged))
+        return record
 
     def as_dict(self) -> Dict[str, Any]:
         """The fields as a plain dict."""

@@ -47,8 +47,9 @@ PermuteFn = Callable[[Any, Tuple[int, ...]], Any]
 #: projects a state onto one orderable key per replica (see Permuter docs)
 ReplicaKeysFn = Callable[[Any], Sequence[Any]]
 
-#: default orbit-cache capacity; the cache is cleared wholesale when full
-#: (states are small tuples, so a million entries is tens of MB at most)
+#: default orbit-cache capacity; on overflow the oldest half of the
+#: entries is evicted (states are small tuples, so a million entries is
+#: tens of MB at most)
 DEFAULT_CACHE_ENTRIES = 1 << 20
 
 
@@ -120,13 +121,31 @@ class CachingCanonicalizer:
             return canon
         canon = self._canonicalize(state)
         if len(cache) >= self.max_entries:
-            cache.clear()
+            self._evict_half()
         cache[state] = canon
         # The representative will itself be generated as a raw successor
         # sooner or later; seeding it is free.
         cache[canon] = canon
         self.misses += 1
         return canon
+
+    def _evict_half(self) -> None:
+        """Drop the oldest half of the memo instead of wiping it.
+
+        Dict insertion order makes the first ``len//2`` keys the oldest;
+        recent entries — the ones the frontier is still generating near —
+        survive, so an overflow costs half the memo rather than all of it.
+        If a concurrent insert resizes the dict mid-scan (thread backend),
+        fall back to the old wholesale clear: correctness never depends on
+        what the cache retains.
+        """
+        cache = self._cache
+        try:
+            oldest = list(itertools.islice(iter(cache), len(cache) // 2))
+            for key in oldest:
+                cache.pop(key, None)
+        except RuntimeError:  # dict mutated during iteration
+            cache.clear()
 
     @property
     def size(self) -> int:

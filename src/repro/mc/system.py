@@ -34,6 +34,10 @@ class TransitionSystem:
             appropriate default for protocols).
         canonicalize: maps a state to its symmetry-orbit representative;
             identity when symmetry reduction is off.
+        packed_spec: optional :class:`~repro.mc.packed.PackedSpec` giving
+            the system a fixed-layout state codec; when present, kernels
+            run with ``packed=True`` explore on packed encodings.  ``None``
+            (no codec) makes packed mode fall back to the object path.
     """
 
     def __init__(
@@ -45,6 +49,7 @@ class TransitionSystem:
         coverage: Sequence[CoverageProperty] = (),
         deadlock: Optional[DeadlockPolicy] = None,
         canonicalize: Optional[Canonicalizer] = None,
+        packed_spec: Any = None,
     ) -> None:
         if not name:
             raise ModelError("system name must be non-empty")
@@ -57,6 +62,7 @@ class TransitionSystem:
         self.coverage: List[CoverageProperty] = list(coverage)
         self.deadlock = deadlock if deadlock is not None else DeadlockPolicy.fail()
         self.canonicalize: Canonicalizer = canonicalize or (lambda state: state)
+        self.packed_spec = packed_spec
         seen = set()
         for rule in self.rules:
             if rule.name in seen:
@@ -81,6 +87,7 @@ class TransitionSystem:
             coverage=self.coverage,
             deadlock=self.deadlock,
             canonicalize=canonicalize,
+            packed_spec=self.packed_spec,
         )
 
     def __repr__(self) -> str:

@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.action import Action
 from repro.core.hole import Hole
 from repro.dsl.builder import GLOBAL, ControllerSpec, ProtocolBuilder, StateView
+from repro.dsl.fields import EnumField, IdField, IdSetField, RangeField, Schema
 from repro.mc.properties import DeadlockPolicy
 from repro.mc.state import Record
 from repro.mc.system import TransitionSystem
@@ -365,6 +366,20 @@ def _build(
     builder.add_controller(client)
     builder.add_controller(directory)
     builder.set_global_rename(_rename_glob)
+    # The schema gives the packed codec table-driven slots for the
+    # replica-indexed fields; the IdField/IdSetField renames agree with
+    # _rename_glob on every reachable value, so the two paths coincide.
+    builder.set_global_schema(
+        Schema(
+            st=EnumField(IDLE, GS_W, GE_W),
+            ptr=IdField(n_clients, allow_none=True, sentinel=-1),
+            excl=IdField(n_clients, allow_none=True, sentinel=-1),
+            shr=IdSetField(n_clients),
+            acks=RangeField(0, n_clients),
+            mem=RangeField(0, 1),
+            aux=RangeField(0, 1),
+        )
+    )
     builder.add_invariant("coherence", _coherence)
     builder.add_invariant("data-integrity-cache", _data_integrity_cache)
     builder.add_invariant("data-integrity-mem", _data_integrity_mem)

@@ -38,7 +38,7 @@ from repro.mc.system import TransitionSystem
 # The MESI state tuple has byte-for-byte the same layout as MSI's
 # ``(caches, dirst, owner, sharers, req, acks, net)``, so the sorted-replica
 # fast-path projection is shared rather than duplicated.
-from repro.protocols.msi.defs import replica_keys
+from repro.protocols.msi.defs import packed_spec, replica_keys
 
 # -- states ---------------------------------------------------------------------
 
@@ -589,6 +589,8 @@ def build_mesi_system(
         coverage=mesi_coverage(n_caches) if coverage else [],
         deadlock=DeadlockPolicy.fail(quiescent=_quiescent),
         canonicalize=canonicalize,
+        # MESI shares the MSI 7-tuple layout, so the discovery spec is shared.
+        packed_spec=packed_spec(n_caches, symmetry=symmetry),
     )
 
 

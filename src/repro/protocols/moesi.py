@@ -46,7 +46,7 @@ from repro.mc.symmetry import Permuter, ScalarSet
 from repro.mc.system import TransitionSystem
 
 # Same 7-tuple layout as MSI/MESI, so the sorted-replica fast path is shared.
-from repro.protocols.msi.defs import replica_keys
+from repro.protocols.msi.defs import packed_spec, replica_keys
 
 # -- states ---------------------------------------------------------------------
 
@@ -746,6 +746,8 @@ def build_moesi_system(
         coverage=moesi_coverage(n_caches) if coverage else [],
         deadlock=DeadlockPolicy.fail(quiescent=_quiescent),
         canonicalize=canonicalize,
+        # MOESI shares the MSI 7-tuple layout, so the discovery spec is shared.
+        packed_spec=packed_spec(n_caches, symmetry=symmetry),
     )
 
 

@@ -203,6 +203,56 @@ def replica_keys(state: State) -> Tuple[Tuple, ...]:
     )
 
 
+def packed_spec(n_caches: int, symmetry: bool = True):
+    """A :class:`~repro.mc.packed.PackedSpec` for the MSI state layout.
+
+    MESI and MOESI share the exact 7-tuple layout (their extra controller
+    states are just more interned atoms), so all three hand-written
+    protocols use this one discovery spec.  The per-slot rename closures
+    are the *same expressions* as :func:`permute_state` — including the
+    collapse of every negative owner/req to ``-1`` and the deliberate
+    Python-indexing of out-of-range message indices — so the packed remap
+    is exact against the object permuter by construction.
+    """
+    from repro.mc import packed as pk
+
+    def make_codec() -> "pk.StateCodec":
+        def id_rename(value: int, mapping: Tuple[int, ...]) -> int:
+            return -1 if value < 0 else mapping[value]
+
+        def sharers_rename(value, mapping):
+            return frozenset(mapping[s] for s in value)
+
+        def net_rename(net, mapping):
+            return net.map(lambda msg: (msg[0], mapping[msg[1]]))
+
+        layout = [
+            pk.Block(pk.AtomSlot(), n_caches),              # caches
+            pk.Scalar(pk.AtomSlot()),                       # dirst
+            pk.Scalar(pk.AtomSlot(rename=id_rename)),       # owner
+            pk.Scalar(pk.AtomSlot(rename=sharers_rename)),  # sharers
+            pk.Scalar(pk.AtomSlot(rename=id_rename)),       # req
+            pk.Scalar(pk.AtomSlot()),                       # acks
+            pk.Scalar(pk.AtomSlot(rename=net_rename)),      # net
+        ]
+
+        def extract(state: State) -> Tuple:
+            caches, dirst, owner, sharers, req, acks, net = state
+            return tuple(caches) + (dirst, owner, sharers, req, acks, net)
+
+        def build(values: Tuple) -> State:
+            return (values[:n_caches],) + tuple(values[n_caches:])
+
+        mappings = (
+            pk.permutation_mappings(n_caches)
+            if symmetry and n_caches > 1
+            else pk.identity_mappings(n_caches)
+        )
+        return pk.StateCodec(layout, extract, build, mappings)
+
+    return pk.PackedSpec(make_codec)
+
+
 def format_state(state: State) -> str:
     """Human-readable one-liner for traces and debugging."""
     caches, dirst, owner, sharers, req, acks, net = state

@@ -125,6 +125,7 @@ def build_msi_system(
         coverage=msi_coverage(coverage),
         deadlock=DeadlockPolicy.fail(quiescent=msi_quiescent),
         canonicalize=canonicalize,
+        packed_spec=defs.packed_spec(n_caches, symmetry=symmetry),
     )
 
 

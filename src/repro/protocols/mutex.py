@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 from repro.core.action import Action
 from repro.core.hole import Hole
 from repro.dsl.builder import GLOBAL, ControllerSpec, ProtocolBuilder, StateView
+from repro.dsl.fields import IdField, Schema
 from repro.mc.properties import DeadlockPolicy
 from repro.mc.state import Record
 from repro.mc.system import TransitionSystem
@@ -122,6 +123,10 @@ def _build(n_clients: int, grant_handler, name: str,
     builder.add_controller(client)
     builder.add_controller(server)
     builder.set_global_rename(_rename_glob)
+    # Typed global layout for the packed codec (agrees with _rename_glob).
+    builder.set_global_schema(
+        Schema(holder=IdField(n_clients, allow_none=True, sentinel=-1))
+    )
     builder.add_invariant("mutual-exclusion", _mutual_exclusion)
     builder.add_invariant("holder-consistent", _holder_consistent)
     # Finite interconnect capacity (see the VI protocol for rationale).

@@ -27,6 +27,7 @@ from typing import Dict, List, Tuple
 from repro.core.action import Action
 from repro.core.hole import Hole
 from repro.dsl.builder import GLOBAL, ControllerSpec, ProtocolBuilder, StateView
+from repro.dsl.fields import EnumField, IdField, Schema
 from repro.mc.properties import DeadlockPolicy
 from repro.mc.state import Record
 from repro.mc.system import TransitionSystem
@@ -194,6 +195,14 @@ def _build(
     builder.add_controller(client)
     builder.add_controller(directory)
     builder.set_global_rename(_rename_glob)
+    # Typed global layout for the packed codec (agrees with _rename_glob).
+    builder.set_global_schema(
+        Schema(
+            st=EnumField(FREE, BUSY_GRANT, OWNED, BUSY_RECALL),
+            owner=IdField(n_clients, allow_none=True, sentinel=-1),
+            req=IdField(n_clients, allow_none=True, sentinel=-1),
+        )
+    )
     builder.add_invariant("single-valid", _single_valid)
     builder.add_invariant("dir-consistent", _owner_consistent)
     # Finite interconnect capacity: keeps every synthesis candidate's state

@@ -15,6 +15,38 @@ def test_fingerprint_bytes_differs():
     assert fingerprint_bytes(b"a") != fingerprint_bytes(b"b")
 
 
+def _reference_fnv1a(data: bytes) -> int:
+    """The textbook byte-at-a-time FNV-1a loop, kept as the oracle."""
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value = ((value ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+def test_chunked_mix_matches_per_byte_reference():
+    # The production loop reads 8-byte chunks (int.from_bytes) and
+    # unrolls the per-byte mixing; it must stay byte-for-byte identical
+    # to the reference loop on fixed vectors covering every tail length
+    # and both chunked and unchunked sizes.
+    vectors = [
+        b"",
+        b"\x00",
+        b"\xff" * 7,
+        b"\x00\x01\x02\x03\x04\x05\x06\x07",
+        b"chongo was here!\n",  # 17 bytes: two chunks + 1-byte tail
+        bytes(range(256)),
+        b"a" * 64,
+        b"\x80" + b"\x00" * 14 + b"\x01",
+    ]
+    for data in vectors:
+        assert fingerprint_bytes(data) == _reference_fnv1a(data), data
+
+
+@given(st.binary(max_size=40))
+def test_chunked_mix_matches_reference_property(data):
+    assert fingerprint_bytes(data) == _reference_fnv1a(data)
+
+
 def test_state_fingerprint_deterministic():
     state = (("I", "M"), 0)
     assert fingerprint_state(state) == fingerprint_state(state)

@@ -29,6 +29,22 @@ class TestRecord:
         with pytest.raises(AttributeError):
             Record(x=1).update(z=3)
 
+    def test_update_preserves_field_order(self):
+        # The sorted-merge walks the existing (canonically ordered)
+        # fields, so the updated record's layout is bit-identical to the
+        # original's — the packed codec relies on stable field order.
+        record = Record(c=3, a=1, b=2)
+        updated = record.update(b=20, c=30)
+        assert list(updated.as_dict()) == list(record.as_dict())
+        assert updated.as_dict() == {"a": 1, "b": 20, "c": 30}
+        assert record.as_dict() == {"a": 1, "b": 2, "c": 3}
+
+    def test_update_rejects_unknown_among_valid(self):
+        # Valid names are merged before the leftover check, so a mixed
+        # call still names the offending field.
+        with pytest.raises(AttributeError, match="nope"):
+            Record(a=1, b=2).update(a=5, nope=9)
+
     def test_immutable(self):
         with pytest.raises(AttributeError):
             Record(x=1).x = 5

@@ -159,6 +159,20 @@ class TestOrbitCache:
         assert cached.size <= 4
         assert cached.misses == 10
 
+    def test_recent_entries_survive_capacity_overflow(self):
+        # Overflow evicts the *oldest* half, not the whole memo: entries
+        # the frontier is still generating near keep hitting.
+        cached = CachingCanonicalizer(lambda s: s, max_entries=4)
+        for n in range(4):
+            cached((n,))  # cache now full: (0,) (1,) (2,) (3,)
+        cached((4,))  # overflow: (0,) and (1,) evicted, recent half stays
+        assert cached.misses == 5
+        cached((3,))
+        cached((4,))
+        assert cached.hits == 2  # survivors of the eviction
+        cached((0,))  # evicted -> recomputed
+        assert cached.misses == 6
+
     def test_run_stats_surface_cache_counters(self):
         system = build_msi_system(2)
         first = BfsExplorer(system).run()
