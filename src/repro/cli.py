@@ -11,6 +11,9 @@ Commands:
   ``--naive`` walk the ablation ladder back to the paper and beyond.
 * ``matrix`` — run a declarative experiment matrix (a preset or a JSON
   spec) with a resumable journal; see :mod:`repro.experiments`.
+* ``fuzz`` — generate seeded random holed protocols and differential-test
+  every acceleration/backend configuration against every other, shrinking
+  divergences to corpus reproducers; see :mod:`repro.fuzz`.
 * ``list`` — list available protocols and skeletons with their hole
   counts and supported replica ranges.
 
@@ -23,6 +26,8 @@ Examples::
     python -m repro synth german-small --no-generalise --no-prefix-reuse
     python -m repro matrix --preset smoke
     python -m repro matrix --preset table1 --out matrix-runs/table1
+    python -m repro fuzz --seed 0 --count 50
+    python -m repro fuzz --count 5 --lattice full --no-shrink
 
 The full flag reference lives in ``docs/cli.md``; the matrix-spec format
 in ``docs/experiments.md``.
@@ -304,6 +309,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(matrix, optional_trace_value=True)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="generate random protocols and differential-test the lattice",
+        description="Generate seeded random holed protocols and sweep each "
+                    "through the acceleration/backend configuration lattice, "
+                    "asserting every promise the modes make against each "
+                    "other.  Divergent specs are shrunk to minimal "
+                    "reproducers and written as corpus files.",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first generator seed (default: 0)")
+    fuzz.add_argument("--count", type=int, default=20,
+                      help="number of consecutive seeds to sweep "
+                           "(default: 20)")
+    fuzz.add_argument(
+        "--lattice", choices=("ablation", "full", "tier1"),
+        default="ablation",
+        help="configuration lattice to sweep: 'ablation' (default) pins "
+             "every acceleration against a shared reference, 'full' runs "
+             "the cartesian corners, 'tier1' is the fast sequential-only "
+             "set the checked-in corpus replays",
+    )
+    shrink_group = fuzz.add_mutually_exclusive_group()
+    shrink_group.add_argument(
+        "--shrink", action="store_true",
+        help="shrink divergent specs to minimal reproducers (the default)",
+    )
+    shrink_group.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep divergent specs as generated (faster triage loop)",
+    )
+    fuzz.add_argument(
+        "--corpus-dir", metavar="DIR", default="fuzz-runs/reproducers",
+        help="where divergence reproducer files land "
+             "(default: fuzz-runs/reproducers)",
+    )
+    fuzz.add_argument(
+        "--journal", metavar="FILE", default=None,
+        help="write one deterministic JSON row per spec to FILE "
+             "(default: no journal file; rows depend only on the seeds "
+             "and lattice, never on timing)",
+    )
+    fuzz.add_argument("--workers", type=int, default=2,
+                      help="thread/process count for the parallel-backend "
+                           "lattice configurations (default: 2)")
+    fuzz.add_argument("--max-evaluations", type=int, default=None,
+                      help="safety cap on candidates per synthesis run")
+
     stats = sub.add_parser(
         "stats",
         help="summarise a trace JSONL file (per-span totals, attribution)",
@@ -505,6 +558,46 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     return 0 if not result.failed else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """``fuzz``: differential-test generated protocols over the lattice."""
+    # Imported here: the fuzz package is the one CLI dependency most
+    # invocations never touch.
+    from repro.fuzz import DifferentialRunner, run_campaign
+
+    if args.count < 1:
+        raise CliError(f"--count must be >= 1, got {args.count}")
+    if args.workers < 1:
+        raise CliError(f"--workers must be >= 1, got {args.workers}")
+    runner = DifferentialRunner(
+        args.lattice,
+        max_evaluations=args.max_evaluations,
+        workers=args.workers,
+    )
+    seeds = range(args.seed, args.seed + args.count)
+    result = run_campaign(
+        seeds,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus_dir,
+        journal_path=args.journal,
+        runner=runner,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    total = len(result.checks)
+    divergent = result.divergent
+    print(
+        f"fuzz: {total} spec(s), lattice '{args.lattice}' "
+        f"({len(runner.lattice.verify)} verify + "
+        f"{len(runner.lattice.synth)} synth configs), "
+        f"{len(divergent)} divergent"
+    )
+    for _original, shrunk, path in result.reproducers:
+        where = f" -> {path}" if path is not None else ""
+        print(f"  reproducer: {shrunk.name}{where}")
+    if result.journal_path is not None:
+        print(f"journal: {result.journal_path}")
+    return 0 if result.ok else 1
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """``stats``: aggregate and render one trace JSONL file."""
     try:
@@ -546,6 +639,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "verify": cmd_verify,
         "synth": cmd_synth,
         "matrix": cmd_matrix,
+        "fuzz": cmd_fuzz,
         "stats": cmd_stats,
         "list": cmd_list,
     }

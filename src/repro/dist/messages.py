@@ -43,13 +43,28 @@ Constraints = Tuple[Tuple[int, int], ...]
 
 @dataclass(frozen=True)
 class SystemSpec:
-    """A rebuildable reference to a skeleton: catalog name + replica count."""
+    """A rebuildable reference to a skeleton.
+
+    Either a catalog name + replica count (the default), or — when
+    ``fuzz_payload`` is set — a serialised fuzz protocol spec
+    (:func:`repro.fuzz.spec.spec_payload` output) that workers rebuild
+    without touching the catalog.  Payloads exist so generated protocols
+    can cross the process boundary: they are plain JSON strings, which
+    pickle trivially, while built systems (closures) do not.
+    """
 
     name: str
     replicas: int = 2
+    fuzz_payload: Optional[str] = None
 
     def build(self) -> TransitionSystem:
-        """Rebuild the referenced skeleton locally."""
+        """Rebuild the referenced system locally."""
+        if self.fuzz_payload is not None:
+            # Imported lazily: the fuzz package is optional equipment for
+            # the distributed layer, not a dependency of it.
+            from repro.fuzz.spec import build_system_from_payload
+
+            return build_system_from_payload(self.fuzz_payload)
         return build_skeleton(self.name, self.replicas)
 
 

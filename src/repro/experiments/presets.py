@@ -7,6 +7,13 @@
 * ``smoke`` — a few minutes of tiny cells: every complete protocol
   verified at 2 replicas and every fast skeleton synthesised
   sequentially.  This is the CI matrix-smoke step.
+* ``fuzz`` — generated protocols through the journaled runner: building
+  the preset registers a handful of seeded fuzz skeletons in the runtime
+  catalog (:func:`register_fuzz_skeletons`) and synthesises each one
+  under the packed/object kernels.  The differential lattice itself
+  lives in ``python -m repro fuzz``; this preset is the matrix-side
+  bridge, giving generated specs the same resumable journal, report, and
+  timeout machinery as the hand-written workloads.
 """
 
 from __future__ import annotations
@@ -105,9 +112,73 @@ def smoke_preset() -> MatrixSpec:
     )
 
 
+#: generator seeds the ``fuzz`` preset sweeps (small and fixed so the
+#: preset stays a few minutes of cells and journals are comparable
+#: across machines)
+FUZZ_PRESET_SEEDS: Tuple[int, ...] = (0, 1, 2, 3, 4, 5)
+
+
+def register_fuzz_skeletons(seeds: Tuple[int, ...] = FUZZ_PRESET_SEEDS):
+    """Register generated fuzz skeletons in the runtime catalog.
+
+    Each seed becomes a :class:`~repro.protocols.catalog.SkeletonEntry`
+    named ``fuzz-s<seed>`` whose builder regenerates the spec (rebased to
+    the requested replica count) and compiles it through the ordinary
+    builder path — deterministic, so matrix journal resume works.
+    Returns the registered names.  Idempotent; re-registration replaces.
+    """
+    # Imported here so the experiments layer only pays for the fuzz
+    # package when this preset is actually used.
+    from repro.fuzz import build_skeleton_from_spec, generate_spec
+    from repro.protocols.catalog import SkeletonEntry, register_skeleton
+
+    names = []
+    for seed in seeds:
+        spec = generate_spec(seed)
+
+        def build(replicas: int, _seed: int = seed):
+            built = generate_spec(_seed)
+            if replicas != built.n_procs:
+                built = built.with_(n_procs=replicas)
+            return build_skeleton_from_spec(built)
+
+        register_skeleton(SkeletonEntry(
+            name=spec.name,
+            build=build,
+            holes=len(spec.hole_names()),
+            replicas=(2, 4),
+            summary=f"generated grant-service protocol (fuzz seed {seed})",
+        ))
+        names.append(spec.name)
+    return names
+
+
+def fuzz_preset() -> MatrixSpec:
+    """Generated fuzz skeletons through the journaled matrix runner."""
+    names = register_fuzz_skeletons()
+    return MatrixSpec.from_dict(
+        {
+            "name": "fuzz",
+            "defaults": {
+                "mode": "synth",
+                "replicas": 2,
+                "backend": "sequential",
+            },
+            # Each generated skeleton under both kernels: the packed
+            # column must match the object column row for row in the
+            # report — the matrix-level echo of the differential oracle.
+            "axes": {
+                "target": names,
+                "packed": [True, False],
+            },
+        }
+    )
+
+
 PRESETS: Dict[str, Callable[[], MatrixSpec]] = {
     "table1": table1_preset,
     "smoke": smoke_preset,
+    "fuzz": fuzz_preset,
 }
 
 

@@ -1,0 +1,189 @@
+"""Corpus files: shrunk specs checked in (or emitted) as JSON.
+
+Two kinds of entry share one file format:
+
+* ``"regression"`` — a healthy spec with *pinned expectations* (solution
+  set, reference state/transition counts).  The curated corpus under
+  ``tests/fuzz/corpus/`` is replayed by tier-1: each file re-runs through
+  the differential lattice and must still match its pinned numbers.
+* ``"divergence"`` — a shrunk reproducer the harness emitted for a broken
+  promise, carrying the :class:`~repro.fuzz.differential.Divergence` it
+  witnessed.  Replaying one re-runs only the two configurations involved
+  and reports whether the divergence still reproduces.
+
+Files are deterministic (sorted keys, fixed indentation, no timestamps):
+re-saving an unchanged entry is byte-identical, which keeps corpus diffs
+honest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.fuzz.differential import DifferentialRunner, Divergence, SpecCheck
+from repro.fuzz.spec import FORMAT_VERSION, FuzzSpecError, ProtocolSpec
+
+#: kinds a corpus entry may declare
+ENTRY_KINDS = ("regression", "divergence")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus file's contents."""
+
+    kind: str
+    spec: ProtocolSpec
+    lattice: str = "tier1"
+    note: str = ""
+    #: pinned expectations (regression entries): canonical solution list,
+    #: reference verify counts
+    expect: Dict[str, Any] = field(default_factory=dict)
+    #: the witnessed broken promise (divergence entries)
+    divergence: Optional[Divergence] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ENTRY_KINDS:
+            raise FuzzSpecError(
+                f"unknown corpus entry kind {self.kind!r}; one of {ENTRY_KINDS}"
+            )
+        if self.kind == "divergence" and self.divergence is None:
+            raise FuzzSpecError("divergence entries must carry a divergence")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able view (the on-disk schema)."""
+        return {
+            "format": FORMAT_VERSION,
+            "kind": self.kind,
+            "lattice": self.lattice,
+            "note": self.note,
+            "spec": self.spec.to_dict(),
+            "expect": self.expect,
+            "divergence": (
+                self.divergence.to_dict() if self.divergence else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CorpusEntry":
+        """Parse the on-disk schema (strict about format version)."""
+        if data.get("format") != FORMAT_VERSION:
+            raise FuzzSpecError(
+                f"unsupported corpus format {data.get('format')!r}"
+            )
+        raw_divergence = data.get("divergence")
+        return cls(
+            kind=str(data.get("kind", "")),
+            spec=ProtocolSpec.from_dict(data["spec"]),
+            lattice=str(data.get("lattice", "tier1")),
+            note=str(data.get("note", "")),
+            expect=dict(data.get("expect") or {}),
+            divergence=(
+                Divergence.from_dict(raw_divergence) if raw_divergence else None
+            ),
+        )
+
+
+def save_entry(entry: CorpusEntry, path: Path) -> Path:
+    """Write one corpus file (deterministic bytes), creating parents."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(entry.to_dict(), sort_keys=True, indent=1)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def load_entry(path: Path) -> CorpusEntry:
+    """Read one corpus file."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise FuzzSpecError(f"bad corpus file {path}: {exc}") from None
+    return CorpusEntry.from_dict(data)
+
+
+def load_corpus(directory: Path) -> List[Tuple[Path, CorpusEntry]]:
+    """All ``*.json`` entries under a directory, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        (path, load_entry(path)) for path in sorted(directory.glob("*.json"))
+    ]
+
+
+def make_regression_entry(
+    spec: ProtocolSpec, check: SpecCheck, note: str = ""
+) -> CorpusEntry:
+    """Pin a healthy sweep's observables into a regression entry.
+
+    Pins the canonical solution set plus the reference configuration's
+    complete-exploration counts — the numbers every future lattice run
+    over this spec must reproduce exactly.
+    """
+    if not check.ok:
+        raise FuzzSpecError(
+            "refusing to pin a divergent sweep as a regression entry"
+        )
+    reference = check.verify.get("ref") or {}
+    expect: Dict[str, Any] = {"solutions": check.solutions}
+    for key in ("states", "transitions", "attempts"):
+        if key in reference:
+            expect[f"ref_{key}"] = reference[key]
+    return CorpusEntry(kind="regression", spec=spec, note=note, expect=expect)
+
+
+def make_divergence_entry(
+    spec: ProtocolSpec, divergence: Divergence, note: str = ""
+) -> CorpusEntry:
+    """Wrap a shrunk reproducer and its witnessed divergence."""
+    return CorpusEntry(
+        kind="divergence",
+        spec=spec,
+        lattice="ablation",
+        note=note,
+        divergence=divergence,
+    )
+
+
+def replay_entry(
+    entry: CorpusEntry, runner: Optional[DifferentialRunner] = None
+) -> List[str]:
+    """Re-run a corpus entry; the returned problems are empty on success.
+
+    Regression entries must sweep cleanly *and* match their pinned
+    expectations.  Divergence entries must still reproduce their recorded
+    divergence (meaningful while the underlying bug exists — the
+    deliberate-breakage test uses this; a fixed bug makes the replay
+    report the divergence as gone, the signal to delete the file).
+    """
+    if runner is None:
+        runner = DifferentialRunner(entry.lattice)
+    problems: List[str] = []
+    if entry.kind == "divergence":
+        assert entry.divergence is not None  # __post_init__ guarantees it
+        if not runner.still_diverges(entry.spec, entry.divergence):
+            problems.append(
+                f"recorded divergence no longer reproduces: "
+                f"{entry.divergence.to_dict()}"
+            )
+        return problems
+    check = runner.check_spec(entry.spec)
+    for divergence in check.divergences:
+        problems.append(f"divergence: {divergence.to_dict()}")
+    expect = entry.expect
+    if "solutions" in expect and check.solutions != expect["solutions"]:
+        problems.append(
+            f"solution set drifted: {check.solutions!r} != "
+            f"{expect['solutions']!r}"
+        )
+    reference = check.verify.get("ref") or {}
+    for key in ("states", "transitions", "attempts"):
+        pinned = expect.get(f"ref_{key}")
+        if pinned is not None and reference.get(key) != pinned:
+            problems.append(
+                f"reference {key} drifted: {reference.get(key)} != {pinned}"
+            )
+    return problems

@@ -1,0 +1,712 @@
+"""The differential oracle: one spec against the configuration lattice.
+
+Every generated protocol is pushed through a lattice of configurations —
+{packed, POR, symmetry, prefix reuse, generalise} x {bfs, dfs} x
+{sequential, threads, processes} — and the runs are compared against each
+other under the *promises each mode actually makes*:
+
+* **verdicts** are compared across every configuration, always: the
+  reference completion must verify and the seeded bug completion must
+  fail everywhere (and its counterexample must replay step by step);
+* **state/transition/attempt counts** are compared within groups that
+  promise count-exactness — packed on/off and bfs/dfs agree on complete
+  explorations, but POR visits fewer states (checked as ``<=``) and
+  symmetry-off visits more, so those form their own groups;
+* **solution sets** (as hole-name -> action-name assignment sets) are
+  compared across every synthesis configuration, always;
+* **solution fingerprints** (visited-set hashes) are compared within
+  groups sharing a state space — POR and symmetry-off legitimately
+  change the visited set;
+* **evaluated counts** are compared only where enumeration order and
+  pruning-pattern content are promised identical (the packed and
+  prefix-reuse toggles).
+
+Candidate evaluations flow through
+:meth:`repro.core.engine.SynthesisCore.evaluate` — the same single
+verdict path the sequential, thread, and process backends share — so a
+divergence here is a real engine divergence, not a harness artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.candidate import CandidateVector
+from repro.core.engine import SynthesisConfig, SynthesisCore, SynthesisEngine
+from repro.core.parallel import ParallelSynthesisEngine
+from repro.fuzz.spec import (
+    ProtocolSpec,
+    build_reference_system,
+    build_skeleton_from_spec,
+    resolver_for_assignment,
+    spec_payload,
+)
+from repro.mc.context import ExecutionContext
+from repro.mc.kernel import make_explorer
+from repro.mc.result import VerificationResult
+
+# -- lattice configurations ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """One verify/bug-replay configuration (kernel level, no backend)."""
+
+    name: str
+    explorer: str = "bfs"
+    packed: bool = True
+    partial_order: bool = False
+    symmetry: bool = True
+
+    @property
+    def counts_group(self) -> Optional[str]:
+        """Configs sharing a group promise identical complete-run counts.
+
+        POR runs promise only ``states <= baseline`` (checked against the
+        same-symmetry full group), so they carry no group of their own.
+        """
+        if self.partial_order:
+            return None
+        return "sym" if self.symmetry else "nosym"
+
+    @property
+    def failure_group(self) -> Optional[str]:
+        """Counts at a *failure* stop depend on visit order, so groups
+        additionally pin the frontier strategy."""
+        if self.partial_order:
+            return None
+        return f"{self.explorer}:{'sym' if self.symmetry else 'nosym'}"
+
+
+@dataclass(frozen=True)
+class SynthLatticeConfig:
+    """One synthesis configuration (engine + backend level)."""
+
+    name: str
+    backend: str = "sequential"
+    workers: int = 2
+    explorer: str = "bfs"
+    packed: bool = True
+    partial_order: bool = False
+    symmetry: bool = True
+    prefix_reuse: bool = True
+    generalise: bool = True
+
+    @property
+    def evaluated_exact(self) -> bool:
+        """Whether ``report.evaluated`` must equal the reference's.
+
+        Only the packed and prefix-reuse toggles promise this: a
+        different explorer or backend changes hole-discovery and
+        pattern-arrival order, POR changes counterexample traces (and so
+        generalised patterns), and disabling generalisation changes the
+        patterns themselves.
+        """
+        return (
+            self.backend == "sequential"
+            and self.explorer == "bfs"
+            and self.symmetry
+            and not self.partial_order
+            and self.generalise
+        )
+
+    @property
+    def fingerprint_group(self) -> Tuple[bool, bool]:
+        """Configs sharing (symmetry, POR) share per-solution visited sets."""
+        return (self.symmetry, self.partial_order)
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether ``evaluated`` is reproducible run to run (journal use).
+
+        The thread and process backends share pruning patterns with
+        timing-dependent reach, so their evaluated counts may vary
+        between runs even at a fixed seed.
+        """
+        return self.backend == "sequential"
+
+
+@dataclass(frozen=True)
+class Lattice:
+    """A named set of kernel and synthesis configurations.
+
+    The first entry of each list is the comparison reference and must be
+    the all-promises configuration (bfs, packed, symmetric, no POR).
+    """
+
+    name: str
+    verify: Tuple[KernelConfig, ...]
+    synth: Tuple[SynthLatticeConfig, ...]
+
+
+def ablation_lattice() -> Lattice:
+    """The default lattice: the reference plus one-factor ablations and a
+    few combined corners — every acceleration is pinned against the shared
+    reference without paying for the full cartesian product."""
+    return Lattice(
+        "ablation",
+        verify=(
+            KernelConfig("ref"),
+            KernelConfig("nopacked", packed=False),
+            KernelConfig("dfs", explorer="dfs"),
+            KernelConfig("dfs-nopacked", explorer="dfs", packed=False),
+            KernelConfig("por", partial_order=True),
+            KernelConfig("por-dfs", explorer="dfs", partial_order=True),
+            KernelConfig("nosym", symmetry=False),
+            KernelConfig("nosym-nopacked", symmetry=False, packed=False),
+        ),
+        synth=(
+            SynthLatticeConfig("ref"),
+            SynthLatticeConfig("nopacked", packed=False),
+            SynthLatticeConfig("dfs", explorer="dfs"),
+            SynthLatticeConfig("threads", backend="threads"),
+            SynthLatticeConfig("processes", backend="processes"),
+            SynthLatticeConfig("por", partial_order=True),
+            SynthLatticeConfig("nosym", symmetry=False),
+            SynthLatticeConfig("noreuse", prefix_reuse=False),
+            SynthLatticeConfig("nogen", generalise=False),
+            SynthLatticeConfig(
+                "bare", packed=False, prefix_reuse=False, generalise=False
+            ),
+            SynthLatticeConfig("por-dfs", explorer="dfs", partial_order=True),
+            SynthLatticeConfig(
+                "processes-dfs", backend="processes", explorer="dfs"
+            ),
+        ),
+    )
+
+
+def full_lattice() -> Lattice:
+    """The cartesian corners: every backend x explorer x packed (x POR for
+    the kernel side).  Opt in for small ``--count`` runs; the ablation
+    lattice covers the same promises at a fraction of the cost."""
+    verify = [
+        KernelConfig(
+            f"{explorer}{'' if packed else '-nopacked'}"
+            f"{'-por' if por else ''}{'' if sym else '-nosym'}",
+            explorer=explorer, packed=packed, partial_order=por, symmetry=sym,
+        )
+        for sym in (True, False)
+        for por in (False, True)
+        for explorer in ("bfs", "dfs")
+        for packed in (True, False)
+        if not (por and not sym)  # POR x nosym adds no distinct promise
+    ]
+    synth = [
+        SynthLatticeConfig(
+            f"{backend}-{explorer}{'' if packed else '-nopacked'}",
+            backend=backend, explorer=explorer, packed=packed,
+        )
+        for backend in ("sequential", "threads", "processes")
+        for explorer in ("bfs", "dfs")
+        for packed in (True, False)
+    ] + [
+        SynthLatticeConfig("por", partial_order=True),
+        SynthLatticeConfig("por-dfs", explorer="dfs", partial_order=True),
+        SynthLatticeConfig("nosym", symmetry=False),
+        SynthLatticeConfig("noreuse", prefix_reuse=False),
+        SynthLatticeConfig("nogen", generalise=False),
+    ]
+    return Lattice("full", tuple(verify), tuple(synth))
+
+
+def tier1_lattice() -> Lattice:
+    """The corpus-replay lattice: sequential-only, seconds per spec, so the
+    checked-in corpus fits tier-1's time guard."""
+    return Lattice(
+        "tier1",
+        verify=(
+            KernelConfig("ref"),
+            KernelConfig("nopacked", packed=False),
+            KernelConfig("dfs", explorer="dfs"),
+        ),
+        synth=(
+            SynthLatticeConfig("ref"),
+            SynthLatticeConfig("nopacked", packed=False),
+            SynthLatticeConfig("dfs", explorer="dfs"),
+            SynthLatticeConfig("noreuse", prefix_reuse=False),
+        ),
+    )
+
+
+LATTICES: Dict[str, Callable[[], Lattice]] = {
+    "ablation": ablation_lattice,
+    "full": full_lattice,
+    "tier1": tier1_lattice,
+}
+
+
+# -- divergences --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One broken promise between two configurations on one spec."""
+
+    phase: str  #: "verify" | "bug" | "synth"
+    kind: str  #: "verdict" | "counts" | "solutions" | "fingerprints" | ...
+    config: str  #: the diverging configuration's name
+    baseline: str  #: what it was compared against ("" for absolute checks)
+    detail: str
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-able view (corpus files, journals)."""
+        return {
+            "phase": self.phase,
+            "kind": self.kind,
+            "config": self.config,
+            "baseline": self.baseline,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "Divergence":
+        """Parse :meth:`to_dict` output."""
+        return cls(
+            phase=str(data.get("phase", "")),
+            kind=str(data.get("kind", "")),
+            config=str(data.get("config", "")),
+            baseline=str(data.get("baseline", "")),
+            detail=str(data.get("detail", "")),
+        )
+
+
+@dataclass
+class SpecCheck:
+    """Everything one spec's lattice sweep produced."""
+
+    spec: ProtocolSpec
+    lattice: str
+    divergences: List[Divergence] = field(default_factory=list)
+    verify: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    bug: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    synth: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    solutions: List[List[List[str]]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No divergence anywhere in the sweep."""
+        return not self.divergences
+
+    def journal_row(self) -> Dict[str, Any]:
+        """A deterministic JSON row (no wall-clock, no unstable counters)."""
+        return {
+            "spec": self.spec.name,
+            "seed": self.spec.seed,
+            "lattice": self.lattice,
+            "ok": self.ok,
+            "verify": self.verify,
+            "bug": self.bug,
+            "synth": self.synth,
+            "solutions": self.solutions,
+            "divergences": [d.to_dict() for d in self.divergences],
+        }
+
+
+# -- trace replay -------------------------------------------------------------
+
+
+def replay_trace(system, trace, resolver=None) -> Optional[str]:
+    """Replay a counterexample against a fresh system build.
+
+    Fires each step's named rule from the previous state and requires the
+    recorded successor among the real successors, then requires the final
+    state to actually violate an invariant or be a real deadlock.  Returns
+    ``None`` on success or a human-readable discrepancy.
+    """
+    rules = {rule.name: rule for rule in system.rules}
+    ctx = ExecutionContext(resolver)
+    current = None
+    for index, step in enumerate(trace.steps):
+        if step.rule_name is None:
+            if not any(step.state == s for s in system.initial_states()):
+                return f"step {index}: not an initial state"
+        else:
+            rule = rules.get(step.rule_name)
+            if rule is None:
+                return f"step {index}: unknown rule {step.rule_name!r}"
+            if not rule.guard(current):
+                return f"step {index}: guard false for {step.rule_name!r}"
+            successors = rule.fire(current, ctx)
+            if not any(step.state == s for s in successors):
+                return (
+                    f"step {index}: recorded state is not a successor of "
+                    f"{step.rule_name!r}"
+                )
+        current = step.state
+    if current is None:
+        return "empty trace"
+    violated = any(not inv.holds(current) for inv in system.invariants)
+    deadlocked = not any(rule.guard(current) for rule in system.rules)
+    if not (violated or deadlocked):
+        return "final state violates no invariant and is not a deadlock"
+    return None
+
+
+# -- the runner ---------------------------------------------------------------
+
+
+def _result_counts(result: VerificationResult) -> Tuple[int, int, int]:
+    stats = result.stats
+    return (
+        stats.states_visited,
+        stats.transitions_fired,
+        stats.rules_attempted,
+    )
+
+
+def _assignment_view(report) -> List[Tuple[Tuple[str, str], ...]]:
+    """Order-insensitive solution-set view (mirrors the equivalence suites)."""
+    return sorted(
+        tuple(sorted(solution.assignment)) for solution in report.solutions
+    )
+
+
+def _fingerprint_view(report) -> Dict[Tuple[Tuple[str, str], ...], Any]:
+    return {
+        tuple(sorted(s.assignment)): s.fingerprint for s in report.solutions
+    }
+
+
+def _covers_reference(report, reference: Dict[str, str]) -> bool:
+    """Does some solution agree with the known-good completion?
+
+    Solutions may be partial (don't-care holes stay unassigned), so
+    agreement on every assigned hole is the right containment check.
+    """
+    for solution in report.solutions:
+        assigned = dict(solution.assignment)
+        if assigned and all(
+            reference.get(hole) == action for hole, action in assigned.items()
+        ):
+            return True
+    return False
+
+
+class DifferentialRunner:
+    """Runs specs through a lattice and reports broken promises.
+
+    Args:
+        lattice: a :class:`Lattice`, or a name in :data:`LATTICES`.
+        max_evaluations: optional per-synthesis-run candidate budget
+            (safety valve for pathological specs; the family's spaces are
+            small enough that the default ``None`` is fine).
+        workers: thread/process count for the parallel backends.
+    """
+
+    def __init__(
+        self,
+        lattice: Any = "ablation",
+        max_evaluations: Optional[int] = None,
+        workers: int = 2,
+    ) -> None:
+        if isinstance(lattice, str):
+            try:
+                lattice = LATTICES[lattice]()
+            except KeyError:
+                raise ValueError(
+                    f"unknown lattice {lattice!r}; "
+                    f"available: {', '.join(sorted(LATTICES))}"
+                ) from None
+        self.lattice: Lattice = lattice
+        self.max_evaluations = max_evaluations
+        self.workers = workers
+
+    # -- public API ---------------------------------------------------------
+
+    def check_spec(self, spec: ProtocolSpec) -> SpecCheck:
+        """The full sweep: verify + bug-replay + synthesis phases."""
+        return self._check(spec, self.lattice.verify, self.lattice.synth)
+
+    def still_diverges(self, spec: ProtocolSpec, divergence: Divergence) -> bool:
+        """Does the *specific* broken promise survive on (a shrunk) spec?
+
+        Re-runs only the two configurations the divergence names and
+        compares them with the same oracle — the shrinker's fast path.
+        Any same-phase divergence between the pair counts (shrinking may
+        shift a counts mismatch into a verdict mismatch).
+        """
+        names = {divergence.config, divergence.baseline} - {""}
+        if divergence.phase in ("verify", "bug"):
+            configs = tuple(
+                c for c in self.lattice.verify
+                if c.name in names or c.name == self.lattice.verify[0].name
+            )
+            check = self._check(spec, configs, ())
+        else:
+            configs = tuple(
+                c for c in self.lattice.synth
+                if c.name in names or c.name == self.lattice.synth[0].name
+            )
+            check = self._check(spec, (), configs)
+        return any(d.phase == divergence.phase for d in check.divergences)
+
+    # -- phases -------------------------------------------------------------
+
+    def _check(
+        self,
+        spec: ProtocolSpec,
+        verify_configs: Sequence[KernelConfig],
+        synth_configs: Sequence[SynthLatticeConfig],
+    ) -> SpecCheck:
+        check = SpecCheck(spec=spec, lattice=self.lattice.name)
+        if verify_configs:
+            self._verify_phase(spec, verify_configs, check)
+            self._bug_phase(spec, verify_configs, check)
+        if synth_configs:
+            self._synth_phase(spec, synth_configs, check)
+        return check
+
+    def _verify_phase(
+        self,
+        spec: ProtocolSpec,
+        configs: Sequence[KernelConfig],
+        check: SpecCheck,
+    ) -> None:
+        results: Dict[str, VerificationResult] = {}
+        for kc in configs:
+            try:
+                results[kc.name] = self._kernel_reference_run(spec, kc)
+            except Exception as exc:  # noqa: BLE001 - sweep must survive
+                check.divergences.append(Divergence(
+                    "verify", "error", kc.name, "",
+                    f"{type(exc).__name__}: {exc}",
+                ))
+        group_baseline: Dict[str, Tuple[str, Tuple[int, int, int]]] = {}
+        for kc in configs:
+            result = results.get(kc.name)
+            if result is None:
+                continue
+            counts = _result_counts(result)
+            check.verify[kc.name] = {
+                "verdict": result.verdict.value,
+                "states": counts[0],
+                "transitions": counts[1],
+                "attempts": counts[2],
+            }
+            if not result.is_success:
+                check.divergences.append(Divergence(
+                    "verify", "ground-truth", kc.name, "",
+                    f"reference completion got {result.verdict.value} "
+                    f"({result.message or 'no message'})",
+                ))
+                continue
+            group = kc.counts_group
+            if group is not None:
+                if group not in group_baseline:
+                    group_baseline[group] = (kc.name, counts)
+                else:
+                    base_name, base_counts = group_baseline[group]
+                    if counts != base_counts:
+                        check.divergences.append(Divergence(
+                            "verify", "counts", kc.name, base_name,
+                            f"states/transitions/attempts {counts} != "
+                            f"{base_counts}",
+                        ))
+        # POR's promise on complete explorations: a subset of the states.
+        for kc in configs:
+            result = results.get(kc.name)
+            if result is None or not kc.partial_order:
+                continue
+            group = "sym" if kc.symmetry else "nosym"
+            if group in group_baseline:
+                base_name, base_counts = group_baseline[group]
+                if result.stats.states_visited > base_counts[0]:
+                    check.divergences.append(Divergence(
+                        "verify", "counts", kc.name, base_name,
+                        f"POR visited {result.stats.states_visited} states "
+                        f"> unreduced {base_counts[0]}",
+                    ))
+
+    def _bug_phase(
+        self,
+        spec: ProtocolSpec,
+        configs: Sequence[KernelConfig],
+        check: SpecCheck,
+    ) -> None:
+        group_baseline: Dict[str, Tuple[str, Tuple[int, int, int], str]] = {}
+        for kc in configs:
+            try:
+                result = self._kernel_bug_run(spec, kc)
+            except Exception as exc:  # noqa: BLE001 - sweep must survive
+                check.divergences.append(Divergence(
+                    "bug", "error", kc.name, "",
+                    f"{type(exc).__name__}: {exc}",
+                ))
+                continue
+            kind = result.failure_kind.value if result.failure_kind else ""
+            check.bug[kc.name] = {
+                "verdict": result.verdict.value,
+                "kind": kind,
+                "states": result.stats.states_visited,
+            }
+            if not result.is_failure:
+                check.divergences.append(Divergence(
+                    "bug", "verdict", kc.name, "",
+                    f"seeded bug got {result.verdict.value}, expected FAILURE",
+                ))
+                continue
+            if result.trace is None:
+                check.divergences.append(Divergence(
+                    "bug", "trace-replay", kc.name, "",
+                    "failure reported without a counterexample trace",
+                ))
+            else:
+                problem = self._replay_bug_trace(spec, kc, result)
+                if problem is not None:
+                    check.divergences.append(Divergence(
+                        "bug", "trace-replay", kc.name, "", problem
+                    ))
+            group = kc.failure_group
+            if group is not None:
+                entry = (kc.name, _result_counts(result), kind)
+                if group not in group_baseline:
+                    group_baseline[group] = entry
+                else:
+                    base_name, base_counts, base_kind = group_baseline[group]
+                    if _result_counts(result) != base_counts:
+                        check.divergences.append(Divergence(
+                            "bug", "counts", kc.name, base_name,
+                            f"failure-run counts {_result_counts(result)} "
+                            f"!= {base_counts}",
+                        ))
+                    if kind != base_kind:
+                        check.divergences.append(Divergence(
+                            "bug", "verdict", kc.name, base_name,
+                            f"failure kind {kind!r} != {base_kind!r}",
+                        ))
+
+    def _synth_phase(
+        self,
+        spec: ProtocolSpec,
+        configs: Sequence[SynthLatticeConfig],
+        check: SpecCheck,
+    ) -> None:
+        reports: Dict[str, Any] = {}
+        for sc in configs:
+            try:
+                reports[sc.name] = self._synth_run(spec, sc)
+            except Exception as exc:  # noqa: BLE001 - sweep must survive
+                check.divergences.append(Divergence(
+                    "synth", "error", sc.name, "",
+                    f"{type(exc).__name__}: {exc}",
+                ))
+        baseline_name = configs[0].name
+        baseline = reports.get(baseline_name)
+        reference = spec.reference_assignment
+        fingerprint_baseline: Dict[Tuple[bool, bool], Tuple[str, Dict]] = {}
+        for sc in configs:
+            report = reports.get(sc.name)
+            if report is None:
+                continue
+            view = _assignment_view(report)
+            check.synth[sc.name] = {
+                "solutions": len(report.solutions),
+                "evaluated": report.evaluated if sc.deterministic else None,
+            }
+            if not _covers_reference(report, reference):
+                check.divergences.append(Divergence(
+                    "synth", "solutions", sc.name, "",
+                    "known-good completion missing from the solution set",
+                ))
+            if report is baseline:
+                check.solutions = [
+                    [list(pair) for pair in solution] for solution in view
+                ]
+            elif baseline is not None:
+                base_view = _assignment_view(baseline)
+                if view != base_view:
+                    check.divergences.append(Divergence(
+                        "synth", "solutions", sc.name, baseline_name,
+                        f"solution sets differ: {view!r} != {base_view!r}",
+                    ))
+                if sc.evaluated_exact and report.evaluated != baseline.evaluated:
+                    check.divergences.append(Divergence(
+                        "synth", "evaluated", sc.name, baseline_name,
+                        f"evaluated {report.evaluated} != "
+                        f"{baseline.evaluated}",
+                    ))
+            group = sc.fingerprint_group
+            prints = _fingerprint_view(report)
+            if group not in fingerprint_baseline:
+                fingerprint_baseline[group] = (sc.name, prints)
+            else:
+                base_name, base_prints = fingerprint_baseline[group]
+                if prints != base_prints:
+                    check.divergences.append(Divergence(
+                        "synth", "fingerprints", sc.name, base_name,
+                        "per-solution visited-set fingerprints differ",
+                    ))
+
+    # -- single runs --------------------------------------------------------
+
+    def _kernel_reference_run(
+        self, spec: ProtocolSpec, kc: KernelConfig
+    ) -> VerificationResult:
+        """One complete-protocol verification through SynthesisCore.evaluate."""
+        system = build_reference_system(spec, symmetry=kc.symmetry)
+        config = SynthesisConfig(
+            explorer=kc.explorer,
+            packed=kc.packed,
+            partial_order=kc.partial_order,
+        )
+        core = SynthesisCore(system, config)
+        result, _explorer = core.evaluate(CandidateVector.empty())
+        return result
+
+    def _kernel_bug_run(
+        self, spec: ProtocolSpec, kc: KernelConfig
+    ) -> VerificationResult:
+        system, holes = build_skeleton_from_spec(spec, symmetry=kc.symmetry)
+        resolver = resolver_for_assignment(holes, spec.bug_assignment)
+        explorer = make_explorer(
+            kc.explorer,
+            system,
+            resolver=resolver,
+            partial_order=kc.partial_order,
+            packed=kc.packed,
+        )
+        return explorer.run()
+
+    def _replay_bug_trace(
+        self, spec: ProtocolSpec, kc: KernelConfig, result: VerificationResult
+    ) -> Optional[str]:
+        # Replay against a *fresh* build: the trace must be a real
+        # execution of the protocol, not of whatever the kernel cached.
+        system, holes = build_skeleton_from_spec(spec, symmetry=kc.symmetry)
+        resolver = resolver_for_assignment(holes, spec.bug_assignment)
+        return replay_trace(system, result.trace, resolver)
+
+    def _synth_run(self, spec: ProtocolSpec, sc: SynthLatticeConfig):
+        config = SynthesisConfig(
+            explorer=sc.explorer,
+            packed=sc.packed,
+            partial_order=sc.partial_order,
+            prefix_reuse=sc.prefix_reuse,
+            generalise_conflicts=sc.generalise,
+            compute_fingerprints=True,
+            max_evaluations=self.max_evaluations,
+        )
+        if sc.backend == "sequential":
+            system, _holes = build_skeleton_from_spec(spec, symmetry=sc.symmetry)
+            return SynthesisEngine(system, config).run()
+        if sc.backend == "threads":
+            system, _holes = build_skeleton_from_spec(spec, symmetry=sc.symmetry)
+            return ParallelSynthesisEngine(
+                system, config, threads=self.workers
+            ).run()
+        if sc.backend == "processes":
+            # Imported lazily: repro.dist pulls in multiprocessing wiring
+            # the sequential-only paths never need.
+            from repro.dist import DistributedSynthesisEngine, SystemSpec
+
+            spec_ref = SystemSpec(
+                spec.name,
+                spec.n_procs,
+                fuzz_payload=spec_payload(spec, symmetry=sc.symmetry),
+            )
+            return DistributedSynthesisEngine(
+                spec_ref, config, workers=self.workers, min_batch_size=2
+            ).run()
+        raise ValueError(f"unknown backend {sc.backend!r}")

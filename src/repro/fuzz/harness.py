@@ -1,0 +1,138 @@
+"""The fuzz campaign driver: generate, sweep, shrink, emit.
+
+:func:`run_campaign` is what the ``fuzz`` CLI verb, the CI smoke job, and
+the determinism tests all call: it walks a seed range, sweeps each
+generated spec through a :class:`~repro.fuzz.differential.\
+DifferentialRunner`, journals one deterministic JSON row per spec, and —
+when a sweep breaks a promise — shrinks the spec against the first
+divergence and writes the reproducer as a corpus file.
+
+Everything observable is a pure function of (seeds, lattice, generator
+config): journal rows carry no wall-clock and no unstable counters, so two
+campaigns at the same seed produce byte-identical journals (the ISSUE's
+flakiness guard).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.fuzz.corpus import make_divergence_entry, save_entry
+from repro.fuzz.differential import DifferentialRunner, SpecCheck
+from repro.fuzz.generator import DEFAULT_CONFIG, GeneratorConfig, generate_spec
+from repro.fuzz.shrink import shrink_spec
+from repro.fuzz.spec import ProtocolSpec
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    checks: List[SpecCheck] = field(default_factory=list)
+    #: (original spec, shrunk spec, reproducer path or None) per divergence
+    reproducers: List[Tuple[ProtocolSpec, ProtocolSpec, Optional[Path]]] = (
+        field(default_factory=list)
+    )
+    journal_path: Optional[Path] = None
+
+    @property
+    def ok(self) -> bool:
+        """Zero divergences across the whole campaign."""
+        return all(check.ok for check in self.checks)
+
+    @property
+    def divergent(self) -> List[SpecCheck]:
+        """The sweeps that broke a promise."""
+        return [check for check in self.checks if not check.ok]
+
+    def journal_rows(self) -> List[dict]:
+        """The deterministic per-spec rows (what the journal file holds)."""
+        return [check.journal_row() for check in self.checks]
+
+    def journal_text(self) -> str:
+        """The journal as JSONL bytes — identical across same-seed runs."""
+        return "".join(
+            json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+            for row in self.journal_rows()
+        )
+
+
+def run_campaign(
+    seeds: Sequence[int],
+    lattice: Any = "ablation",
+    generator_config: Optional[GeneratorConfig] = None,
+    shrink: bool = True,
+    corpus_dir: Optional[Path] = None,
+    journal_path: Optional[Path] = None,
+    runner: Optional[DifferentialRunner] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Sweep every seed; shrink and persist whatever diverges.
+
+    Args:
+        seeds: generator seeds to sweep (``range(count)`` from the CLI).
+        lattice: lattice name or :class:`~repro.fuzz.differential.Lattice`.
+        generator_config: generator knobs (defaults to
+            :data:`~repro.fuzz.generator.DEFAULT_CONFIG`).
+        shrink: reduce divergent specs to minimal reproducers.
+        corpus_dir: where divergence reproducer files land (skipped when
+            ``None`` — the result still carries the shrunk specs).
+        journal_path: optional JSONL journal destination.
+        runner: a pre-built runner (tests inject doctored ones); overrides
+            ``lattice``.
+        progress: optional line sink (the CLI's stderr reporter).
+
+    Returns:
+        A :class:`CampaignResult`; inspect ``.ok`` / ``.divergent``.
+    """
+    if runner is None:
+        runner = DifferentialRunner(lattice)
+    config = generator_config or DEFAULT_CONFIG
+    emit = progress or (lambda line: None)
+    result = CampaignResult()
+    for seed in seeds:
+        spec = generate_spec(seed, config)
+        check = runner.check_spec(spec)
+        result.checks.append(check)
+        if check.ok:
+            emit(f"seed {seed}: ok ({spec.name})")
+            continue
+        emit(
+            f"seed {seed}: DIVERGED ({spec.name}) — "
+            + "; ".join(
+                f"{d.phase}/{d.kind} {d.config} vs {d.baseline or '-'}"
+                for d in check.divergences
+            )
+        )
+        witness = check.divergences[0]
+        shrunk = spec
+        if shrink:
+            shrunk = shrink_spec(
+                spec, lambda s: runner.still_diverges(s, witness)
+            )
+            if shrunk != spec:
+                emit(f"seed {seed}: shrunk to {shrunk.to_json()}")
+        path: Optional[Path] = None
+        if corpus_dir is not None:
+            entry = make_divergence_entry(
+                shrunk,
+                witness,
+                note=(
+                    f"shrunk from seed {seed} ({spec.name}); first of "
+                    f"{len(check.divergences)} divergence(s)"
+                ),
+            )
+            path = save_entry(
+                entry, Path(corpus_dir) / f"div-{spec.name}.json"
+            )
+            emit(f"seed {seed}: reproducer written to {path}")
+        result.reproducers.append((spec, shrunk, path))
+    if journal_path is not None:
+        journal_path = Path(journal_path)
+        journal_path.parent.mkdir(parents=True, exist_ok=True)
+        journal_path.write_text(result.journal_text(), encoding="utf-8")
+        result.journal_path = journal_path
+    return result

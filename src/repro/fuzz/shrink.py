@@ -1,0 +1,130 @@
+"""Shrinking divergent specs to minimal reproducers.
+
+The shrinker never edits protocol *code* — it edits the parameters of a
+:class:`~repro.fuzz.spec.ProtocolSpec` through
+:meth:`~repro.fuzz.spec.ProtocolSpec.with_`, so every candidate stays a
+well-formed family member and rebuilds through the ordinary builder path.
+Each reduction is accepted iff the caller's ``diverges`` predicate still
+holds (typically :meth:`repro.fuzz.differential.DifferentialRunner.\
+still_diverges` pinned to the original divergence, which re-runs only the
+two configurations involved), and the passes repeat to a fixed point.
+
+Reductions, roughly in decreasing-impact order:
+
+* drop the step-edge graph, then individual edges;
+* drop trailing active states (edges are re-clamped);
+* shrink the replica count to 2;
+* drop counters, the ack round, the single-slot guard, the server hole;
+* canonicalise the codec to ``"schema"``;
+* canonicalise all generated names (seeds produce random vocabularies,
+  but a checked-in reproducer should read the same for everyone).
+
+Everything is deterministic — no randomness, no time — so shrinking the
+same divergence always yields the same reproducer file.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.fuzz.spec import FuzzSpecError, INVARIANT_KINDS, ProtocolSpec
+
+#: the fixed vocabulary every fully-shrunk reproducer uses
+_CANONICAL_MESSAGES = {"req": "Rq", "grant": "Gr", "rel": "Rl", "ack": "Ak"}
+_CANONICAL_STATES = {"idle": "Idle", "wait": "Wait"}
+
+
+def _canonical_actives(count: int) -> tuple:
+    return tuple(f"Act{i}" for i in range(count))
+
+
+def _candidates(spec: ProtocolSpec) -> Iterator[ProtocolSpec]:
+    """Single-step reductions of ``spec``, most aggressive first.
+
+    Invalid parameter combinations are skipped (``with_`` revalidates),
+    so the stream only ever yields family members.
+    """
+    edits = []
+    if spec.step_edges:
+        edits.append({"step_edges": ()})
+        for index in range(len(spec.step_edges)):
+            remaining = spec.step_edges[:index] + spec.step_edges[index + 1:]
+            edits.append({"step_edges": remaining})
+    for count in range(1, len(spec.active_states)):
+        clamped = tuple(
+            (i, j) for i, j in spec.step_edges if i < count and j < count
+        )
+        edits.append({
+            "active_states": spec.active_states[:count],
+            "step_edges": clamped,
+        })
+    if spec.n_procs > 2:
+        edits.append({"n_procs": spec.n_procs - 1})
+    if spec.counters:
+        edits.append({"counters": ()})
+    if spec.ack_round:
+        edits.append({"ack_round": False})
+    if spec.single_slot:
+        edits.append({"single_slot": False})
+    if spec.hole_server:
+        edits.append({"hole_server": False})
+    if spec.codec != "schema":
+        edits.append({"codec": "schema"})
+    if spec.invariants != INVARIANT_KINDS:
+        edits.append({"invariants": INVARIANT_KINDS})
+    canonical_actives = _canonical_actives(len(spec.active_states))
+    if (
+        dict(spec.messages) != _CANONICAL_MESSAGES
+        or dict(spec.states) != _CANONICAL_STATES
+        or spec.active_states != canonical_actives
+    ):
+        edits.append({
+            "messages": dict(_CANONICAL_MESSAGES),
+            "states": dict(_CANONICAL_STATES),
+            "active_states": canonical_actives,
+        })
+    for edit in edits:
+        try:
+            yield spec.with_(**edit)
+        except FuzzSpecError:
+            continue
+
+
+def shrink_spec(
+    spec: ProtocolSpec,
+    diverges: Callable[[ProtocolSpec], bool],
+    max_rounds: int = 8,
+    on_accept: Optional[Callable[[ProtocolSpec], None]] = None,
+) -> ProtocolSpec:
+    """Greedily reduce ``spec`` while ``diverges`` keeps holding.
+
+    Args:
+        spec: the divergent spec to reduce (must satisfy ``diverges``).
+        diverges: the oracle — ``True`` while the interesting behaviour
+            survives.  Called on every candidate; make it cheap.
+        max_rounds: fixed-point cap (each round retries every reduction).
+        on_accept: optional progress hook, called with each accepted
+            intermediate spec.
+
+    Returns:
+        The reduced spec (``spec`` itself if nothing could be removed).
+    """
+    current = spec
+    for _round in range(max_rounds):
+        changed = False
+        for candidate in _candidates(current):
+            if candidate == current:
+                continue
+            try:
+                still = diverges(candidate)
+            except FuzzSpecError:
+                continue
+            if still:
+                current = candidate
+                changed = True
+                if on_accept is not None:
+                    on_accept(current)
+                break  # restart the reduction order from the top
+        if not changed:
+            return current
+    return current

@@ -461,7 +461,7 @@ class TestRunnerJournal:
 
 class TestPresets:
     def test_preset_names(self):
-        assert set(preset_names()) == {"table1", "smoke"}
+        assert set(preset_names()) == {"table1", "smoke", "fuzz"}
 
     def test_unknown_preset_rejected(self):
         with pytest.raises(ExperimentError, match="unknown preset"):

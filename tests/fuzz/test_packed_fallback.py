@@ -1,0 +1,102 @@
+"""The silent packed-codec fallback, exercised through the engine path.
+
+``SynthesisConfig(packed=True)`` is the default, but a system without a
+``packed_spec`` cannot run on the packed kernel — the kernel quietly
+falls back to the object path.  These tests pin the contract of that
+fallback: it *engages* (the run completes, with behaviour identical to
+an explicit ``packed=False`` run) and it is *honest* (no ``pack_*``
+metrics appear when it does, while a codec-carrying control run of the
+same shape reports them).
+"""
+
+from repro.core.engine import SynthesisConfig, SynthesisEngine
+from repro.fuzz import build_skeleton_from_spec, generate_spec
+from repro.mc.kernel import make_explorer
+
+#: seed 3 generates a codec="none" spec (see its corpus note); seed 0 is
+#: the schema-codec control
+CODECLESS_SEED = 3
+SCHEMA_SEED = 0
+
+
+def _solution_view(report):
+    return sorted(tuple(sorted(s.assignment)) for s in report.solutions)
+
+
+def _pack_series_total(snapshot):
+    return sum(
+        sum(entry["series"].values())
+        for name, entry in snapshot.items()
+        if name.startswith("pack_")
+    )
+
+
+def test_codecless_spec_has_no_packed_spec():
+    spec = generate_spec(CODECLESS_SEED)
+    assert spec.codec == "none"
+    system, _holes = build_skeleton_from_spec(spec)
+    assert getattr(system, "packed_spec", None) is None
+
+
+def test_fallback_engages_and_matches_object_path():
+    """packed=True on a codec-less system must behave exactly like
+    packed=False: same solutions, same evaluation count, same verdicts."""
+    spec = generate_spec(CODECLESS_SEED)
+    reports = {}
+    for packed in (True, False):
+        system, _holes = build_skeleton_from_spec(spec)
+        reports[packed] = SynthesisEngine(
+            system, SynthesisConfig(packed=packed)
+        ).run()
+    assert reports[True].solutions, "expected at least one solution"
+    assert _solution_view(reports[True]) == _solution_view(reports[False])
+    assert reports[True].evaluated == reports[False].evaluated
+    assert reports[True].verdict_counts == reports[False].verdict_counts
+
+
+def test_fallback_keeps_pack_metrics_zero():
+    spec = generate_spec(CODECLESS_SEED)
+    system, _holes = build_skeleton_from_spec(spec)
+    engine = SynthesisEngine(system, SynthesisConfig(telemetry=True))
+    report = engine.run()
+    assert report.solutions
+    snapshot = engine.core.telemetry.metrics.snapshot()
+    assert _pack_series_total(snapshot) == 0, sorted(
+        name for name in snapshot if name.startswith("pack_")
+    )
+
+
+def test_codec_control_reports_pack_metrics():
+    """The same assertion inverted on a schema-codec spec, so a regression
+    that silently stops *ever* packing cannot hide behind the fallback
+    test."""
+    spec = generate_spec(SCHEMA_SEED)
+    assert spec.codec == "schema"
+    system, _holes = build_skeleton_from_spec(spec)
+    engine = SynthesisEngine(system, SynthesisConfig(telemetry=True))
+    report = engine.run()
+    assert report.solutions
+    snapshot = engine.core.telemetry.metrics.snapshot()
+    interned = snapshot.get("pack_states_interned")
+    assert interned is not None and sum(interned["series"].values()) > 0
+
+
+def test_kernel_level_fallback_counts_match():
+    """The same contract one layer down, via make_explorer directly."""
+    spec = generate_spec(CODECLESS_SEED)
+    from repro.fuzz import build_reference_system
+
+    results = {}
+    for packed in (True, False):
+        system = build_reference_system(spec)
+        assert system.packed_spec is None
+        results[packed] = make_explorer("bfs", system, packed=packed).run()
+    assert results[True].is_success
+    assert (
+        results[True].stats.states_visited
+        == results[False].stats.states_visited
+    )
+    assert (
+        results[True].stats.transitions_fired
+        == results[False].stats.transitions_fired
+    )
