@@ -60,6 +60,7 @@ from repro.protocols.catalog import (
     PROTOCOL_CATALOG,
     SKELETON_BUILDERS,
     SKELETON_CATALOG,
+    build_skeleton_with_holes,
 )
 from repro.protocols.msi.defs import format_state
 
@@ -245,6 +246,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-packed", action="store_true",
         help="force the object-path kernel for candidate evaluation "
              "(the ablation baseline)",
+    )
+    synth_family = synth.add_mutually_exclusive_group()
+    synth_family.add_argument(
+        "--family", action="store_true",
+        help="schedule synthesis as a worklist of hole families: each "
+             "family is model checked once as a wildcard quotient; "
+             "all-fail/all-pass verdicts cover every member in one run "
+             "and ambiguous families split (see docs/architecture.md)",
+    )
+    synth_family.add_argument(
+        "--no-family", action="store_true",
+        help="explicitly keep the 1-by-1 candidate enumeration "
+             "(the default)",
     )
     synth.add_argument("--refined", action="store_true",
                        help="refined trace-based pruning patterns")
@@ -442,6 +456,11 @@ def cmd_synth(args: argparse.Namespace) -> int:
             "conflicting flags: --refined records pruning patterns, which "
             "--naive disables"
         )
+    if args.naive and args.family:
+        raise CliError(
+            "conflicting flags: --family checks wildcard quotients, which "
+            "need the pruning semantics --naive disables"
+        )
     tele = _build_telemetry(args)
     config = SynthesisConfig(
         pruning=not args.naive,
@@ -454,12 +473,21 @@ def cmd_synth(args: argparse.Namespace) -> int:
         explorer=args.explorer,
         partial_order=args.por,
         packed=not args.no_packed,
+        family=args.family,
         # The config mirrors the CLI telemetry so worker *processes* (which
         # only see the config) open their own per-worker sinks.
         telemetry=tele is not None,
         trace_path=args.trace,
         progress=_progress_requested(args),
     )
+    if args.family and not config.family_active:
+        # Mirrors prefix reuse: the knob silently inactivates under
+        # exploration limits, but a user who typed the flag gets told.
+        print(
+            "repro: --family is inactive under the current configuration; "
+            "falling back to the 1-by-1 enumeration",
+            file=sys.stderr,
+        )
     backend = args.backend
     if backend is None:
         backend = "threads" if (args.threads or 1) > 1 else "sequential"
@@ -625,9 +653,17 @@ def cmd_list(_args: argparse.Namespace) -> int:
     for name in sorted(SKELETON_CATALOG):
         entry = SKELETON_CATALOG[name]
         low, high = entry.replicas
+        # The full-family size is the product of the declared holes'
+        # arities — what one `synth --family` root family spans (holes
+        # discovered mid-synthesis beyond the declaration set are rare
+        # and grow this at the pass boundary).
+        _system, declared = build_skeleton_with_holes(name, low)
+        space = 1
+        for hole in declared:
+            space *= hole.arity
         print(
             f"  {name:<{width}}  {entry.holes:2d} holes  "
-            f"replicas {low}..{high}  {entry.summary}"
+            f"family {space:>9,}  replicas {low}..{high}  {entry.summary}"
         )
     return 0
 

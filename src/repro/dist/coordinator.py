@@ -61,6 +61,7 @@ from repro.core.engine import (
     _StopSynthesis,
     resolve_telemetry,
 )
+from repro.core.family import plan_family_shards
 from repro.core.pruning import PruningPattern
 from repro.core.report import SynthesisReport
 from repro.dist.messages import (
@@ -306,10 +307,28 @@ class DistributedSynthesisEngine:
         core = self.core
         config = self.config
         radices = [hole.arity for hole in holes]
-        total = product_size(radices)
-        batches = plan_batches(
-            total, self.workers, self.batches_per_worker, self.min_batch_size
-        )
+        family_mode = config.family_active
+        if family_mode:
+            # The shared worklist cannot cross process boundaries, so the
+            # root family is pre-split into deterministic shards and each
+            # batch covers a contiguous slice of the shard list (workers
+            # run a local worklist per shard).  Shards are uneven in cost
+            # by construction, which is exactly what work-stealing-style
+            # batch dispatch is for — hence min_batch_size=1.
+            shards = plan_family_shards(
+                radices, max(1, self.workers * self.batches_per_worker)
+            )
+            total = len(shards)
+            batches = plan_batches(
+                total, self.workers, self.batches_per_worker, min_batch_size=1
+            )
+        else:
+            shards = ()
+            total = product_size(radices)
+            batches = plan_batches(
+                total, self.workers, self.batches_per_worker,
+                self.min_batch_size,
+            )
         self._ensure_workers()
 
         pass_start = PassStart(
@@ -321,6 +340,8 @@ class DistributedSynthesisEngine:
             explorer=config.explorer,
             partial_order=config.partial_order_active,
             packed=config.packed,
+            family=family_mode,
+            family_shards=tuple(shard.to_wire() for shard in shards),
         )
         watermarks: Dict[int, Tuple[int, int]] = {}
         for worker_id, tasks in enumerate(self._task_queues):
@@ -477,6 +498,11 @@ class DistributedSynthesisEngine:
         core.ample_states += result.ample_states
         if result.peak_states > core.peak_states:
             core.peak_states = result.peak_states
+        core.family_checked += result.family_checked
+        core.family_splits += result.family_splits
+        core.family_candidates_avoided += result.family_candidates_avoided
+        if result.family_max_split_depth > core.family_max_split_depth:
+            core.family_max_split_depth = result.family_max_split_depth
         if (
             result.metrics
             and core.telemetry.enabled

@@ -30,13 +30,17 @@ from dataclasses import replace
 from typing import Optional, Sequence, Tuple
 
 from repro.core.engine import (
+    FAIL_TAG,
+    SUCCESS_TAG,
     PrefixCache,
     SynthesisConfig,
     SynthesisCore,
+    _FamilyPassCounters,
     _PassWalker,
     _StopSynthesis,
 )
 from repro.core.discovery import HoleRegistry
+from repro.core.family import HoleFamily, WireFamily
 from repro.core.hole import Hole
 from repro.core.pruning import PruningPattern
 from repro.dist.messages import (
@@ -132,6 +136,8 @@ class BatchRunner:
         self.core: Optional[SynthesisCore] = None
         self._radices: Tuple[int, ...] = ()
         self._first_new = 0
+        self._family = False
+        self._family_shards: Tuple[WireFamily, ...] = ()
         # One prefix cache for the worker's lifetime: checkpoints stay
         # valid across passes (and their pass-local cores) because the
         # canonical hole order only appends and the rebuilt system — hole
@@ -163,6 +169,13 @@ class BatchRunner:
                 f"mixed kernel modes would make solution fingerprints "
                 f"and prefix checkpoints incomparable"
             )
+        if msg.family != self._config.family_active:
+            raise SynthesisError(
+                f"coordinator plans the pass with family={msg.family} but "
+                f"this worker resolves it to "
+                f"{self._config.family_active} — batch ranges would index "
+                f"the wrong space (family shards vs candidate indices)"
+            )
         core = SynthesisCore(
             self.system,
             replace(self._config),
@@ -177,6 +190,8 @@ class BatchRunner:
         self.core = core
         self._radices = tuple(spec.arity for spec in msg.hole_specs)
         self._first_new = msg.first_new
+        self._family = msg.family
+        self._family_shards = msg.family_shards
 
     def run_batch(self, task: BatchTask) -> BatchResult:
         """Walk one candidate range and return the mergeable deltas."""
@@ -202,6 +217,9 @@ class BatchRunner:
         )
         por_skipped_seen = core.por_rules_skipped
         ample_states_seen = core.ample_states
+        family_checked_seen = core.family_checked
+        family_splits_seen = core.family_splits
+        family_avoided_seen = core.family_candidates_avoided
         if task.eval_budget is not None:
             core.config.max_evaluations = core.evaluated + task.eval_budget
         else:
@@ -213,7 +231,12 @@ class BatchRunner:
             if tele.enabled and tele.metrics is not None
             else None
         )
-        walker = _PassWalker(core, self._radices, task.start, task.end)
+        walker = (
+            None
+            if self._family
+            else _PassWalker(core, self._radices, task.start, task.end)
+        )
+        family_counters = _FamilyPassCounters()
         budget_exhausted = False
         span = (
             tele.span("batch", batch=task.batch_id,
@@ -224,8 +247,11 @@ class BatchRunner:
         try:
             if span is not None:
                 span.__enter__()
-            for digits in walker.enumerator:
-                core.process_candidate(walker, digits, self._first_new)
+            if walker is None:
+                self._walk_family_shards(task, family_counters)
+            else:
+                for digits in walker.enumerator:
+                    core.process_candidate(walker, digits, self._first_new)
         except _StopSynthesis:
             budget_exhausted = core.stopped_early and not core.inherent_failure
             core.stopped_early = False
@@ -245,15 +271,24 @@ class BatchRunner:
             if core.prefix_cache is not None
             else (0, 0, 0)
         )
+        if walker is None:
+            covered = family_counters.covered
+            skipped = {
+                FAIL_TAG: family_counters.pruned,
+                SUCCESS_TAG: family_counters.skipped,
+            }
+        else:
+            covered = walker.counters.covered
+            skipped = dict(walker.counters.skipped)
         return BatchResult(
             worker_id=self.worker_id,
             batch_id=task.batch_id,
             start=task.start,
             end=task.end,
-            covered=walker.counters.covered,
+            covered=covered,
             evaluated=core.evaluated - evaluated_seen,
             deduplicated=core.deduplicated - deduplicated_seen,
-            skipped=dict(walker.counters.skipped),
+            skipped=skipped,
             verdict_counts={
                 verdict: count - verdicts_seen.get(verdict, 0)
                 for verdict, count in core.verdict_counts.items()
@@ -274,11 +309,36 @@ class BatchRunner:
             por_rules_skipped=core.por_rules_skipped - por_skipped_seen,
             ample_states=core.ample_states - ample_states_seen,
             peak_states=core.peak_states,
+            family_checked=core.family_checked - family_checked_seen,
+            family_splits=core.family_splits - family_splits_seen,
+            family_max_split_depth=core.family_max_split_depth,
+            family_candidates_avoided=(
+                core.family_candidates_avoided - family_avoided_seen
+            ),
             metrics=metrics_delta,
             budget_exhausted=budget_exhausted,
             inherent_failure=core.inherent_failure,
             inherent_failure_message=core.inherent_failure_message,
         )
+
+
+    def _walk_family_shards(
+        self, task: BatchTask, counters: _FamilyPassCounters
+    ) -> None:
+        """Drain the batch's slice of the pass's family shards.
+
+        Each shard runs as its own LIFO worklist (children never escape
+        the batch, so checkpoints ride locally exactly as in the
+        sequential scheduler); shards are processed in slice order to
+        keep per-batch run indices deterministic.
+        """
+        core = self.core
+        for wire in self._family_shards[task.start:task.end]:
+            worklist = [(HoleFamily.from_wire(wire), None, 0)]
+            while worklist:
+                family, resume, depth = worklist.pop()
+                children = core.process_family(family, resume, depth, counters)
+                worklist.extend(reversed(children))
 
 
 def worker_main(worker_id: int, spec: SystemSpec, config: SynthesisConfig,

@@ -107,6 +107,10 @@ def smoke_preset() -> MatrixSpec:
                  "timeout_seconds": 120},
                 {"target": "german-small", "por": True,
                  "timeout_seconds": 300},
+                # family-based synthesis smoke: one cell so the family
+                # scheduler's quotient/split path runs in CI
+                {"target": "msi-tiny", "family": True,
+                 "timeout_seconds": 300},
             ],
         }
     )

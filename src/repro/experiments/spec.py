@@ -64,6 +64,7 @@ class CellSpec:
     prefix_reuse: bool = True
     por: bool = False
     packed: bool = True
+    family: bool = False
     evictions: bool = False
     symmetry: bool = True
     solution_limit: Optional[int] = None
@@ -89,6 +90,7 @@ _FLAG_TAGS = (
     ("prefix_reuse", False, "noreuse"),
     ("por", True, "por"),
     ("packed", False, "nopacked"),
+    ("family", True, "family"),
     ("evictions", True, "evict"),
     ("symmetry", False, "nosym"),
 )
@@ -156,7 +158,7 @@ def make_cell(values: Dict[str, Any]) -> CellSpec:
                 f"available: {', '.join(sorted(SKELETON_CATALOG))}"
             )
     for flag in ("pruning", "generalise", "prefix_reuse", "por", "packed",
-                 "evictions", "symmetry"):
+                 "family", "evictions", "symmetry"):
         if not isinstance(getattr(cell, flag), bool):
             raise ExperimentError(
                 f"cell {cell.id!r}: {flag} must be a bool, "

@@ -1,7 +1,7 @@
 """The differential oracle: one spec against the configuration lattice.
 
 Every generated protocol is pushed through a lattice of configurations —
-{packed, POR, symmetry, prefix reuse, generalise} x {bfs, dfs} x
+{packed, POR, symmetry, prefix reuse, generalise, family} x {bfs, dfs} x
 {sequential, threads, processes} — and the runs are compared against each
 other under the *promises each mode actually makes*:
 
@@ -92,6 +92,7 @@ class SynthLatticeConfig:
     symmetry: bool = True
     prefix_reuse: bool = True
     generalise: bool = True
+    family: bool = False
 
     @property
     def evaluated_exact(self) -> bool:
@@ -100,8 +101,10 @@ class SynthLatticeConfig:
         Only the packed and prefix-reuse toggles promise this: a
         different explorer or backend changes hole-discovery and
         pattern-arrival order, POR changes counterexample traces (and so
-        generalised patterns), and disabling generalisation changes the
-        patterns themselves.
+        generalised patterns), disabling generalisation changes the
+        patterns themselves, and family mode checks quotients rather
+        than candidates (its promise is the solution *set*, pinned
+        unconditionally below, never the run count).
         """
         return (
             self.backend == "sequential"
@@ -109,6 +112,7 @@ class SynthLatticeConfig:
             and self.symmetry
             and not self.partial_order
             and self.generalise
+            and not self.family
         )
 
     @property
@@ -173,6 +177,20 @@ def ablation_lattice() -> Lattice:
             SynthLatticeConfig(
                 "processes-dfs", backend="processes", explorer="dfs"
             ),
+            # Family-based synthesis: the scheduler promises the exact
+            # solution set (and per-solution fingerprints) of the 1-by-1
+            # enumeration, alone and composed with every acceleration
+            # toggle and backend.
+            SynthLatticeConfig("family", family=True),
+            SynthLatticeConfig(
+                "family-nopacked", family=True, packed=False
+            ),
+            SynthLatticeConfig("family-por", family=True, partial_order=True),
+            SynthLatticeConfig("family-nosym", family=True, symmetry=False),
+            SynthLatticeConfig("family-threads", family=True, backend="threads"),
+            SynthLatticeConfig(
+                "family-processes", family=True, backend="processes"
+            ),
         ),
     )
 
@@ -226,6 +244,7 @@ def tier1_lattice() -> Lattice:
             SynthLatticeConfig("nopacked", packed=False),
             SynthLatticeConfig("dfs", explorer="dfs"),
             SynthLatticeConfig("noreuse", prefix_reuse=False),
+            SynthLatticeConfig("family", family=True),
         ),
     )
 
@@ -685,6 +704,7 @@ class DifferentialRunner:
             partial_order=sc.partial_order,
             prefix_reuse=sc.prefix_reuse,
             generalise_conflicts=sc.generalise,
+            family=sc.family,
             compute_fingerprints=True,
             max_evaluations=self.max_evaluations,
         )

@@ -114,6 +114,11 @@ class VerificationResult:
             the explorer was asked to track hole paths; the refined pruning
             mode uses it.
         unmet_coverage: names of coverage properties never satisfied.
+        cut_holes: ``(hole_name, depth)`` pairs, sorted by name, recording
+            the shallowest depth at which each wildcard hole cut an
+            execution branch during this run.  Empty on wildcard-free runs.
+            Family-based synthesis uses the earliest (minimum-depth) cut to
+            pick the hole an ambiguous family should split on.
     """
 
     verdict: Verdict
@@ -125,6 +130,7 @@ class VerificationResult:
     executed_holes: FrozenSet[Any] = frozenset()
     failure_holes: Optional[FrozenSet[Any]] = None
     unmet_coverage: Tuple[str, ...] = ()
+    cut_holes: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def is_success(self) -> bool:

@@ -1,0 +1,283 @@
+"""Property tests for hole families (:mod:`repro.core.family`).
+
+The guarantees the family scheduler leans on:
+
+* splitting partitions the parent *exactly* — children are pairwise
+  disjoint, their union is the parent, and the split position becomes
+  concrete in every child;
+* digests are byte-stable across process boundaries (the distributed
+  shard journals and corpus files name families by digest);
+* an all-fail verdict is sound — every member of a family the scheduler
+  pruned as FAILURE fails when checked 1-by-1 (exercised on the real
+  mutex and MSI-tiny skeletons);
+* pattern narrowing never removes a member the pattern does not match.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.candidate import WILDCARD, CandidateVector
+from repro.core.family import (
+    HoleFamily,
+    apply_pattern,
+    narrow_family,
+    plan_family_shards,
+)
+from repro.errors import CandidateError
+
+
+@st.composite
+def families(draw):
+    """Small random families: 1-4 positions, option subsets of 0..4."""
+    width = draw(st.integers(min_value=1, max_value=4))
+    options = []
+    for _ in range(width):
+        subset = draw(
+            st.sets(st.integers(min_value=0, max_value=4), min_size=1)
+        )
+        options.append(tuple(sorted(subset)))
+    return HoleFamily(options)
+
+
+# -- membership and ordering ------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(family=families())
+def test_members_are_unique_ordered_and_counted(family):
+    members = list(family.members())
+    assert len(members) == family.size
+    assert len(set(members)) == family.size
+    # Last position varies fastest over sorted subsets == lexicographic.
+    assert members == sorted(members)
+    assert all(family.contains(member) for member in members)
+
+
+@settings(max_examples=80, deadline=None)
+@given(family=families())
+def test_check_vector_fixes_exactly_the_singleton_positions(family):
+    entries = family.check_vector().entries
+    for position, subset in enumerate(family.options):
+        if len(subset) == 1:
+            assert entries[position] == subset[0]
+        else:
+            assert entries[position] is WILDCARD
+
+
+# -- splitting --------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(family=families(), data=st.data())
+def test_split_partitions_parent_exactly(family, data):
+    multi = family.multi_positions()
+    if not multi:
+        return
+    position = data.draw(st.sampled_from(multi))
+    children = family.split(position)
+    assert len(children) == len(family.options[position])
+    # Each child fixes the split position, in ascending option order.
+    assert [
+        child.options[position] for child in children
+    ] == [(option,) for option in family.options[position]]
+    # Pairwise disjoint, union exactly the parent.
+    member_sets = [set(child.members()) for child in children]
+    for i, left in enumerate(member_sets):
+        for right in member_sets[i + 1:]:
+            assert not (left & right)
+    union = set().union(*member_sets)
+    assert union == set(family.members())
+    assert sum(child.size for child in children) == family.size
+
+
+@settings(max_examples=50, deadline=None)
+@given(family=families())
+def test_split_refuses_fixed_positions(family):
+    for position, subset in enumerate(family.options):
+        if len(subset) == 1:
+            with pytest.raises(CandidateError):
+                family.split(position)
+
+
+@settings(max_examples=60, deadline=None)
+@given(family=families(), target=st.integers(min_value=1, max_value=30))
+def test_plan_family_shards_partitions_the_full_space(family, target):
+    radices = [max(subset) + 1 for subset in family.options]
+    shards = plan_family_shards(radices, target)
+    full = HoleFamily.full(radices)
+    assert len(shards) >= min(target, full.size)
+    member_sets = [set(shard.members()) for shard in shards]
+    assert sum(len(s) for s in member_sets) == full.size
+    assert set().union(*member_sets) == set(full.members())
+
+
+# -- digests ----------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(family=families())
+def test_digest_survives_the_wire_round_trip(family):
+    rebuilt = HoleFamily.from_wire(family.to_wire())
+    assert rebuilt == family
+    assert rebuilt.digest() == family.digest()
+    assert len(family.digest()) == 16
+
+
+def test_digest_byte_stable_across_process_boundary():
+    """Digests must not depend on hash randomisation or process state:
+    a fresh interpreter (its own PYTHONHASHSEED) computes identical
+    digests for the same wire forms."""
+    samples = [
+        HoleFamily.full([3, 4, 2]),
+        HoleFamily.singleton([1, 0, 2]),
+        HoleFamily([(0, 2), (1,), (0, 1, 3)]),
+        HoleFamily([(5,), (0, 7)]),
+    ]
+    wires = [[list(subset) for subset in f.to_wire()] for f in samples]
+    code = (
+        "import json, sys\n"
+        "from repro.core.family import HoleFamily\n"
+        "wires = json.load(sys.stdin)\n"
+        "digests = [\n"
+        "    HoleFamily.from_wire(tuple(tuple(s) for s in wire)).digest()\n"
+        "    for wire in wires\n"
+        "]\n"
+        "print(json.dumps(digests))\n"
+    )
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = "random"
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        input=json.dumps(wires),
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert json.loads(proc.stdout) == [f.digest() for f in samples]
+
+
+# -- pattern narrowing ------------------------------------------------------
+
+
+@st.composite
+def family_and_patterns(draw):
+    family = draw(families())
+    patterns = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        length = draw(st.integers(min_value=1, max_value=family.width))
+        positions = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=family.width - 1),
+                min_size=length, max_size=length, unique=True,
+            )
+        )
+        patterns.append(tuple(
+            (position, draw(st.integers(min_value=0, max_value=4)))
+            for position in positions
+        ))
+    return family, patterns
+
+
+def _matches(member, constraints):
+    return all(member[position] == action for position, action in constraints)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=family_and_patterns())
+def test_apply_pattern_removes_exactly_a_matched_subproduct(pair):
+    family, patterns = pair
+    constraints = patterns[0]
+    narrowed, removed = apply_pattern(family, constraints)
+    members = set(family.members())
+    matched = {m for m in members if _matches(m, constraints)}
+    remaining = set(narrowed.members()) if narrowed is not None else set()
+    if removed:
+        # Exact narrowing: what was removed is precisely the matched set.
+        assert removed == len(matched)
+        assert remaining == members - matched
+    else:
+        # Deferred (or no-match): the family must be untouched.
+        assert narrowed is family
+        assert remaining == members
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=family_and_patterns())
+def test_narrow_family_never_drops_an_unmatched_member(pair):
+    family, patterns = pair
+    fail = patterns[: len(patterns) // 2 + 1]
+    success = patterns[len(patterns) // 2 + 1:]
+    remaining, pruned, skipped = narrow_family(family, fail, success)
+    members = set(family.members())
+    left = set(remaining.members()) if remaining is not None else set()
+    assert len(left) + pruned + skipped == family.size
+    clean = {
+        m for m in members
+        if not any(_matches(m, c) for c in fail + success)
+    }
+    # Members matching no pattern always survive; only matched members
+    # may have been pruned or skipped.
+    assert clean <= left
+    for member in members - left:
+        assert any(_matches(member, c) for c in fail + success)
+
+
+# -- all-fail soundness on real skeletons -----------------------------------
+
+
+@pytest.mark.parametrize("name", ["mutex", "msi-tiny"])
+def test_all_fail_families_contain_only_failing_members(name, monkeypatch):
+    """Every member of a family the scheduler classified all-fail must
+    itself fail when model checked 1-by-1 — the soundness half of the
+    family verdict (the completeness half is the solution-set parity the
+    fuzz lattice pins)."""
+    from repro.core.engine import (
+        SynthesisConfig,
+        SynthesisCore,
+        SynthesisEngine,
+    )
+    from repro.protocols.catalog import build_skeleton_with_holes
+
+    system, _holes = build_skeleton_with_holes(name, 2)
+    recorded = []
+    original = SynthesisCore._handle_family_result
+
+    def spy(self, family, result, explorer, depth, counters, run_index):
+        if result.is_failure:
+            recorded.append(family)
+        return original(
+            self, family, result, explorer, depth, counters,
+            run_index=run_index,
+        )
+
+    monkeypatch.setattr(SynthesisCore, "_handle_family_result", spy)
+    engine = SynthesisEngine(system, SynthesisConfig(family=True))
+    report = engine.run()
+    assert report.family
+    assert recorded, "run produced no all-fail family to check"
+
+    # Largest families first: multi-member ones are the interesting case.
+    recorded.sort(key=lambda family: family.size, reverse=True)
+    checked = 0
+    for family in recorded:
+        for member in family.members():
+            result, _ = engine.core.evaluate(
+                CandidateVector.from_digits(member)
+            )
+            assert result.is_failure, (
+                f"{name}: member {member} of all-fail family {family} "
+                f"got verdict {result.verdict.value}"
+            )
+            checked += 1
+            if checked >= 60:
+                return

@@ -1,0 +1,111 @@
+"""Family-mode checkpoint interaction (satellite of the family scheduler).
+
+Family quotient runs chain their checkpoints along splits (parent
+quotient -> child quotient) rather than along the 1-by-1 walker's prefix
+order, so the two kinds must never cross: checkpoints carry a ``family``
+tag and the kernel refuses a cross-mode ``resume_from`` in either
+direction.  Family runs still feed the prefix-reuse counters — a child
+resuming its parent's checkpoint is exactly a prefix hit.
+"""
+
+import pytest
+
+from repro.core.candidate import CandidateVector
+from repro.core.discovery import CandidateResolver, HoleRegistry
+from repro.core.engine import SynthesisConfig, SynthesisEngine
+from repro.errors import ModelError
+from repro.mc.kernel import ExplorationKernel
+from repro.protocols.catalog import build_skeleton_with_holes
+from repro.protocols.toy import build_figure2_skeleton
+
+
+def _checkpoint(family):
+    """A figure2 prefix checkpoint collected in the requested mode."""
+    system = build_figure2_skeleton()
+    registry = HoleRegistry()
+    explorer = ExplorationKernel(
+        system,
+        resolver=CandidateResolver(registry, CandidateVector.from_digits((1,))),
+        collect_checkpoint=True,
+        family=family,
+    )
+    explorer.run()
+    checkpoint = explorer.checkpoint
+    assert checkpoint is not None
+    return system, registry, checkpoint
+
+
+def _resume(system, registry, checkpoint, family):
+    return ExplorationKernel(
+        system,
+        resolver=CandidateResolver(
+            registry, CandidateVector.from_digits((1, 0))
+        ),
+        resume_from=checkpoint,
+        family=family,
+    ).run()
+
+
+class TestCheckpointModeTag:
+    def test_checkpoints_carry_their_mode(self):
+        _, _, candidate = _checkpoint(family=False)
+        assert candidate.family is False
+        _, _, quotient = _checkpoint(family=True)
+        assert quotient.family is True
+
+    def test_same_mode_resume_works_in_both_modes(self):
+        for family in (False, True):
+            system, registry, checkpoint = _checkpoint(family)
+            result = _resume(system, registry, checkpoint, family)
+            assert result.stats.prefix_states_reused == (
+                checkpoint.states_visited
+            )
+
+    def test_candidate_run_refuses_family_checkpoint(self):
+        system, registry, checkpoint = _checkpoint(family=True)
+        with pytest.raises(ModelError, match="family"):
+            _resume(system, registry, checkpoint, family=False)
+
+    def test_family_run_refuses_candidate_checkpoint(self):
+        system, registry, checkpoint = _checkpoint(family=False)
+        with pytest.raises(ModelError, match="family"):
+            _resume(system, registry, checkpoint, family=True)
+
+
+class TestFamilyPrefixReuse:
+    def test_family_run_reports_states_reused(self):
+        """Splitting produces children that resume the parent quotient's
+        checkpoint; the report must surface that reuse the same way the
+        1-by-1 prefix cache does."""
+        system, _holes = build_skeleton_with_holes("msi-tiny", 2)
+        report = SynthesisEngine(
+            system, SynthesisConfig(family=True)
+        ).run()
+        assert report.family
+        assert report.family_splits > 0
+        assert report.prefix_cache_hits > 0
+        assert report.prefix_states_reused > 0
+
+    def test_family_reuse_matches_reference_solutions(self):
+        """Reuse must not change the outcome: the family run's solution
+        set equals the enumerated reference's."""
+        def solutions(config):
+            system, _holes = build_skeleton_with_holes("msi-tiny", 2)
+            report = SynthesisEngine(system, config).run()
+            return sorted(
+                tuple(sorted(s.assignment)) for s in report.solutions
+            )
+
+        assert solutions(SynthesisConfig(family=True)) == solutions(
+            SynthesisConfig()
+        )
+
+    def test_no_reuse_when_prefix_reuse_disabled(self):
+        """--no-prefix-reuse also turns off family checkpoint chaining
+        (children re-explore from scratch) without changing solutions."""
+        system, _holes = build_skeleton_with_holes("msi-tiny", 2)
+        report = SynthesisEngine(
+            system, SynthesisConfig(family=True, prefix_reuse=False)
+        ).run()
+        assert report.family
+        assert report.prefix_states_reused == 0

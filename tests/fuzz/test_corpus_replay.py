@@ -52,6 +52,27 @@ def test_corpus_covers_required_shapes():
     assert any(spec.single_slot for spec in specs)
 
 
+def test_corpus_forces_family_splitting():
+    """The ISSUE's family curation floor: at least two entries must carry
+    a server-side hole plus an ack round, and the family scheduler must
+    genuinely split (not settle the root quotient in one check) on each."""
+    from repro.core.engine import SynthesisConfig, SynthesisEngine
+    from repro.fuzz.spec import build_skeleton_from_spec
+
+    family_specs = [
+        entry.spec for _, entry in CORPUS
+        if entry.spec.hole_server and entry.spec.ack_round
+    ]
+    assert len(family_specs) >= 2, (
+        "corpus lost its family-splitting entries (hole_server + ack_round)"
+    )
+    for spec in family_specs:
+        system, _holes = build_skeleton_from_spec(spec)
+        report = SynthesisEngine(system, SynthesisConfig(family=True)).run()
+        assert report.family, f"{spec.name}: family mode fell back"
+        assert report.family_splits > 0, f"{spec.name}: no family splits"
+
+
 def test_smallest_entry_through_processes_backend():
     """One corpus spec across the process boundary: the distributed
     backend rebuilds it from its fuzz payload and must agree with the
