@@ -104,9 +104,12 @@ def dist_bench_rows():
     """Session-collected backend-comparison rows, persisted as
     ``BENCH_dist.json`` so future PRs can track the perf trajectory.
 
-    Each row: skeleton, backend, workers, seconds, evaluated, solutions.
-    The teardown derives ``speedup_vs_sequential`` per skeleton where a
-    sequential row exists, and records the host's CPU count — speedups on
+    Each row: skeleton, backend, workers, cpu_count, seconds, evaluated,
+    solutions.  Rows tagged ``section="memo_warm"`` (the verdict-store
+    cold/warm pair) land in their own top-level section with a derived
+    ``model_check_fraction``; for the backend rows the teardown derives
+    ``speedup_vs_sequential`` per skeleton where a sequential row exists.
+    CPU counts ride both per-row and in the header — speedups on
     single-core CI boxes are noise, and downstream consumers must be able
     to tell.
     """
@@ -117,19 +120,33 @@ def dist_bench_rows():
     import json
     import sys
 
+    memo_rows, backend_rows = [], []
+    for row in rows:
+        section = row.pop("section", None)
+        (memo_rows if section == "memo_warm" else backend_rows).append(row)
     sequential_seconds = {
         row["skeleton"]: row["seconds"]
-        for row in rows
+        for row in backend_rows
         if row["backend"] == "sequential"
     }
-    for row in rows:
+    for row in backend_rows:
         base = sequential_seconds.get(row["skeleton"])
         if base and row["seconds"]:
             row["speedup_vs_sequential"] = round(base / row["seconds"], 3)
+    cold_checks = {
+        row["skeleton"]: row["model_checks"]
+        for row in memo_rows
+        if row.get("phase") == "cold"
+    }
+    for row in memo_rows:
+        base = cold_checks.get(row["skeleton"])
+        if base:
+            row["model_check_fraction"] = round(row["model_checks"] / base, 5)
     payload = {
         "cpu_count": os.cpu_count(),
         "caches": bench_caches(),
-        "rows": rows,
+        "rows": backend_rows,
+        "memo_warm": memo_rows,
     }
     with open("BENCH_dist.json", "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

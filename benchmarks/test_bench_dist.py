@@ -26,7 +26,7 @@ from benchmarks.conftest import (
     run_once,
     small_enabled,
 )
-from repro.core import SynthesisEngine
+from repro.core import SynthesisConfig, SynthesisEngine
 from repro.core.parallel import ParallelSynthesisEngine
 from repro.dist import DistributedSynthesisEngine, SystemSpec
 from repro.protocols.catalog import build_skeleton
@@ -35,17 +35,22 @@ from repro.util.timing import Stopwatch
 CPU_COUNT = os.cpu_count() or 1
 
 
-def record(rows, skeleton, backend, workers, report, seconds=None):
+def record(rows, skeleton, backend, workers, report, seconds=None, **extra):
     rows.append(
         {
             "skeleton": skeleton,
             "backend": backend,
             "workers": workers,
+            # Per-row so rows merged across hosts stay interpretable:
+            # a 1-core row's timing is time-slicing noise, and the
+            # aggregate header alone cannot say which rows those are.
+            "cpu_count": CPU_COUNT,
             "seconds": round(
                 report.elapsed_seconds if seconds is None else seconds, 3
             ),
             "evaluated": report.evaluated,
             "solutions": len(report.solutions),
+            **extra,
         }
     )
     return report
@@ -148,3 +153,60 @@ class TestMsiSmallShowdown:
             # than sequential, and never slower than the GIL-bound threads.
             assert distributed.elapsed_seconds < sequential_seconds
             assert distributed.elapsed_seconds <= threaded_seconds
+
+
+@pytest.mark.skipif(not small_enabled(), reason="VERC3_BENCH_SMALL=0")
+class TestMsiSmallMemoWarm:
+    """The verdict-store acceptance row: cold vs warm MSI-small.
+
+    The warm run consults the store populated by the cold run and must
+    perform at most 1% of its model checks while reporting identical
+    solutions and fingerprints — this is the speedup that works on any
+    host, including 1-core CI boxes where process parallelism cannot.
+    The rows land in the ``memo_warm`` section of ``BENCH_dist.json``.
+    """
+
+    def test_store_warm_rerun(self, benchmark, dist_bench_rows, tmp_path):
+        caches = bench_caches()
+        store = str(tmp_path / "store")
+
+        def run(label):
+            return SynthesisEngine(
+                build_skeleton("msi-small", caches),
+                SynthesisConfig(store_path=store, compute_fingerprints=True),
+            ).run()
+
+        watch = Stopwatch.started()
+        cold = run("cold")
+        cold_seconds = watch.elapsed
+        record(
+            dist_bench_rows, "msi-small", "sequential", 1, cold,
+            seconds=cold_seconds, section="memo_warm", phase="cold",
+            model_checks=cold.model_checks, store_hits=cold.store_hits,
+        )
+
+        warm = run_once(benchmark, lambda: run("warm"))
+        attach_report(benchmark, warm, "MSI-small warm store re-run")
+        benchmark.extra_info.update(
+            {
+                "cold_seconds": round(cold_seconds, 3),
+                "model_checks": warm.model_checks,
+                "store_hits": warm.store_hits,
+                "cpu_count": CPU_COUNT,
+            }
+        )
+        record(
+            dist_bench_rows, "msi-small", "sequential", 1, warm,
+            section="memo_warm", phase="warm",
+            model_checks=warm.model_checks, store_hits=warm.store_hits,
+        )
+
+        # Identical results: solution digit sets and behavioural
+        # fingerprints, plus the evaluated count (hits included).
+        assert digits(warm) == digits(cold)
+        assert [s.fingerprint for s in warm.solutions] == [
+            s.fingerprint for s in cold.solutions
+        ]
+        assert warm.evaluated == cold.evaluated
+        # The acceptance bound: a warm re-run model checks <= 1% of cold.
+        assert warm.model_checks <= max(1, cold.model_checks // 100)

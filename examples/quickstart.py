@@ -9,8 +9,8 @@ it rediscover the answer: enter the critical section, send nothing.
 Run:  python examples/quickstart.py
 """
 
+from repro import SynthesisConfig, synthesize
 from repro.analysis.grouping import describe_groups
-from repro.core import SynthesisConfig, SynthesisEngine
 from repro.protocols.mutex import build_mutex_skeleton
 
 
@@ -20,9 +20,7 @@ def main() -> None:
     for hole in holes:
         print(f"  {hole.name}: {[a.name for a in hole.domain]}")
 
-    report = SynthesisEngine(
-        system, SynthesisConfig(compute_fingerprints=True)
-    ).run()
+    report = synthesize(system, SynthesisConfig(compute_fingerprints=True))
 
     print()
     print(report.summary())

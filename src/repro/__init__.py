@@ -8,6 +8,8 @@ previously recorded failure patterns.
 
 Public API tour:
 
+* :mod:`repro.api` — the stable facade: :func:`~repro.api.verify`,
+  :func:`~repro.api.synthesize`, :func:`~repro.api.open_store`.
 * :mod:`repro.mc` — Murphi-like modelling + BFS model checker + symmetry.
 * :mod:`repro.core` — holes, actions, candidate pruning, synthesis engines.
 * :mod:`repro.dsl` — declarative protocol-building helpers.
@@ -15,7 +17,15 @@ Public API tour:
   paper's Figure 2 toy).
 * :mod:`repro.analysis` — solution grouping and Table I rendering.
 
-Quickstart::
+Quickstart (the stable facade, :mod:`repro.api`)::
+
+    from repro import synthesize, verify
+
+    print(verify("msi").summary())
+    report = synthesize("msi-small", store="runs/msi-store")
+    print(report.summary())
+
+or, one layer down::
 
     from repro.core import SynthesisEngine, SynthesisConfig
     from repro.protocols.toy import build_figure2_skeleton
@@ -24,6 +34,7 @@ Quickstart::
     print(report.summary())
 """
 
+from repro.api import open_store, synthesize, verify
 from repro.core import (
     Action,
     Hole,
@@ -74,5 +85,8 @@ __all__ = [
     "WILDCARD",
     "__version__",
     "make_explorer",
+    "open_store",
     "ruleset",
+    "synthesize",
+    "verify",
 ]

@@ -22,6 +22,7 @@ Examples::
     python -m repro verify msi --caches 3 --evictions
     python -m repro verify german --procs 2
     python -m repro synth msi-small --backend processes --workers 4
+    python -m repro synth msi-small --store runs/msi-store
     python -m repro synth moesi-small --threads 4
     python -m repro synth german-small --no-generalise --no-prefix-reuse
     python -m repro matrix --preset smoke
@@ -69,6 +70,16 @@ PROTOCOLS: Dict[str, Callable] = PROTOCOL_BUILDERS
 
 #: skeletons: name -> builder(n) returning a TransitionSystem
 SKELETONS: Dict[str, Callable] = SKELETON_BUILDERS
+
+#: accelerations the synth command can request explicitly, mapped to
+#: (flag, consequence-of-standing-down); the warning's *reason* comes
+#: from SynthesisConfig.resolved_accelerations(), the single stand-down
+#: table
+_ACCELERATION_FLAGS: Dict[str, tuple] = {
+    "family": ("--family", "falling back to the 1-by-1 enumeration"),
+    "partial_order": ("--por", "candidate checks run without reduction"),
+    "store": ("--store", "verdicts will be neither recorded nor replayed"),
+}
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser,
@@ -259,6 +270,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-family", action="store_true",
         help="explicitly keep the 1-by-1 candidate enumeration "
              "(the default)",
+    )
+    synth_store = synth.add_mutually_exclusive_group()
+    synth_store.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="durable cross-run verdict store directory: verdicts are "
+             "recorded on first evaluation and replayed on later runs "
+             "with the same protocol and verdict-affecting flags, so a "
+             "warm re-run model checks almost nothing (see "
+             "docs/distributed.md)",
+    )
+    synth_store.add_argument(
+        "--no-store", action="store_true",
+        help="explicitly run without a verdict store (the default)",
     )
     synth.add_argument("--refined", action="store_true",
                        help="refined trace-based pruning patterns")
@@ -474,18 +498,30 @@ def cmd_synth(args: argparse.Namespace) -> int:
         partial_order=args.por,
         packed=not args.no_packed,
         family=args.family,
+        store_path=args.store,
         # The config mirrors the CLI telemetry so worker *processes* (which
         # only see the config) open their own per-worker sinks.
         telemetry=tele is not None,
         trace_path=args.trace,
         progress=_progress_requested(args),
     )
-    if args.family and not config.family_active:
-        # Mirrors prefix reuse: the knob silently inactivates under
-        # exploration limits, but a user who typed the flag gets told.
+    # Accelerations silently stand down in bad combinations (the engine's
+    # single stand-down table); a user who *typed the flag* gets told.
+    explicit = {
+        "family": args.family,
+        "partial_order": args.por,
+        "store": args.store is not None,
+    }
+    for status in config.resolved_accelerations():
+        if status.active or not status.requested:
+            continue
+        mapping = _ACCELERATION_FLAGS.get(status.name)
+        if mapping is None or not explicit.get(status.name):
+            continue
+        flag, consequence = mapping
+        reason = f" ({status.reason})" if status.reason else ""
         print(
-            "repro: --family is inactive under the current configuration; "
-            "falling back to the 1-by-1 enumeration",
+            f"repro: {flag} is inactive{reason}; {consequence}",
             file=sys.stderr,
         )
     backend = args.backend

@@ -30,13 +30,38 @@ class HoleRegistry:
         self._holes: List[Hole] = []
         self._positions: Dict[Hole, int] = {}
         self._names: Dict[str, Hole] = {}
+        #: names whose slot holds a *placeholder* awaiting its real hole
+        self._reserved: set = set()
+
+    def reserve(self, hole: Hole) -> int:
+        """Reserve a position for a hole known only by name/arity.
+
+        Placeholder holes come from outside this process (a worker's
+        :class:`~repro.dist.messages.HoleSpec`, a verdict-store replay):
+        they carry the right name, arity, and action names but no
+        executable actions.  The first *real* hole registered under the
+        same name binds into the reserved slot (see :meth:`position_of`),
+        keeping positions stable.  Reserving an already-known name is a
+        no-op returning the existing position.
+        """
+        with self._lock:
+            existing = self._names.get(hole.name)
+            if existing is not None:
+                return self._positions[existing]
+            position = len(self._holes)
+            self._holes.append(hole)
+            self._positions[hole] = position
+            self._names[hole.name] = hole
+            self._reserved.add(hole.name)
+            return position
 
     def position_of(self, hole: Hole, register: bool = True) -> Optional[int]:
         """Return the discovery position of ``hole``.
 
         With ``register=True`` (the resolver's mode), an unknown hole is
-        appended and its new position returned; with ``register=False`` an
-        unknown hole yields ``None``.
+        appended and its new position returned — or, if the name has a
+        reserved placeholder slot, bound into that slot; with
+        ``register=False`` an unknown hole yields ``None``.
         """
         position = self._positions.get(hole)  # lock-free fast path
         if position is not None or not register:
@@ -45,10 +70,25 @@ class HoleRegistry:
             position = self._positions.get(hole)
             if position is not None:
                 return position
-            if hole.name in self._names:
-                raise SynthesisError(
-                    f"two distinct holes share the name {hole.name!r}"
-                )
+            existing = self._names.get(hole.name)
+            if existing is not None:
+                if hole.name not in self._reserved:
+                    raise SynthesisError(
+                        f"two distinct holes share the name {hole.name!r}"
+                    )
+                if hole.arity != existing.arity:
+                    raise SynthesisError(
+                        f"hole {hole.name!r} has arity {hole.arity} here but "
+                        f"{existing.arity} in its reserved slot — the rebuilt "
+                        f"skeleton does not match the reservation source"
+                    )
+                position = self._positions[existing]
+                del self._positions[existing]
+                self._holes[position] = hole
+                self._positions[hole] = position
+                self._names[hole.name] = hole
+                self._reserved.discard(hole.name)
+                return position
             position = len(self._holes)
             self._holes.append(hole)
             self._positions[hole] = position

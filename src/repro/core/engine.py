@@ -24,13 +24,15 @@ detected arithmetically), and no patterns are kept.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro.core.action import Action
 from repro.core.candidate import WILDCARD, CandidateVector
 from repro.core.discovery import CandidateResolver, DefaultingResolver, HoleRegistry
 from repro.core.enumeration import NaiveEnumerator, SubtreeEnumerator
@@ -51,13 +53,35 @@ from repro.mc.kernel import (
     ExplorationLimits,
     make_explorer,
 )
-from repro.mc.result import VerificationResult
+from repro.mc.result import FailureKind, RunStats, Verdict, VerificationResult
 from repro.mc.system import TransitionSystem
 from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.store import StoredRun, VerdictStore, flags_signature, system_signature
+from repro.store.store import merge_assignment
 from repro.util.timing import Stopwatch
 
 FAIL_TAG = "failure"
 SUCCESS_TAG = "success"
+
+_RUN_STATS_FIELDS = frozenset(f.name for f in dataclasses.fields(RunStats))
+
+
+class _StoredRunExplorer:
+    """Explorer stand-in for a verdict replayed from the store.
+
+    :meth:`SynthesisCore.handle_result` only ever asks the explorer for a
+    solution fingerprint; a store hit answers with the recorded one
+    (store hits are gated on its presence when fingerprints are on).
+    """
+
+    __slots__ = ("checkpoint", "_fingerprint")
+
+    def __init__(self, fingerprint: Optional[str]) -> None:
+        self.checkpoint = None
+        self._fingerprint = fingerprint
+
+    def fingerprint_visited(self) -> Optional[str]:
+        return self._fingerprint
 
 
 def _candidate_label(vector: CandidateVector) -> str:
@@ -182,6 +206,16 @@ class SynthesisConfig:
             ``progress`` trace events); implies telemetry.
         progress_interval: minimum seconds between progress emissions
             (default 1.0; must be positive).
+        store_path: directory of a durable cross-run verdict store
+            (:mod:`repro.store`).  Every wildcard-free candidate
+            evaluation consults the store before model checking and
+            records its outcome after; repeated runs, overlapping matrix
+            cells, and warm benchmark passes replay verdicts instead of
+            re-exploring.  ``None`` (default) disables the store.  Like
+            the other accelerations, the store stands down under
+            exploration ``limits`` (see :attr:`store_active`): truncated
+            verdicts depend on the limit values, which the store key
+            does not encode.
     """
 
     pruning: bool = True
@@ -207,6 +241,7 @@ class SynthesisConfig:
     trace_path: Optional[str] = None
     progress: bool = False
     progress_interval: float = 1.0
+    store_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.explorer not in EXPLORER_STRATEGIES:
@@ -249,6 +284,11 @@ class SynthesisConfig:
             raise SynthesisError(
                 f"trace_path must be a string path or None, "
                 f"got {self.trace_path!r}"
+            )
+        if self.store_path is not None and not isinstance(self.store_path, str):
+            raise SynthesisError(
+                f"store_path must be a string path or None, "
+                f"got {self.store_path!r}"
             )
         if (
             not isinstance(self.progress_interval, (int, float))
@@ -323,6 +363,99 @@ class SynthesisConfig:
         enumeration silently (the CLI warns).
         """
         return self.family and self.pruning and self._limits_unset
+
+    @property
+    def store_active(self) -> bool:
+        """Whether candidate evaluations may consult the verdict store.
+
+        A truncated exploration's verdict depends on the limit values,
+        which the store key does not encode, so exploration limits stand
+        the store down like every other acceleration.
+        """
+        return self.store_path is not None and self._limits_unset
+
+    def resolved_accelerations(self) -> Tuple["AccelerationStatus", ...]:
+        """The requested-vs-active resolution of every acceleration knob.
+
+        This is the single stand-down table; the individual ``*_active``
+        properties are its per-knob accessors and the CLI's warning text
+        reads from the ``reason`` column here.
+
+        ========================  ==============================================
+        acceleration              stands down when
+        ========================  ==============================================
+        ``generalise_conflicts``  exploration limits are set (a truncated
+                                  sibling exploration is not guaranteed to
+                                  reach the generalised counterexample)
+        ``prefix_reuse``          pruning is off (no wildcard semantics), or
+                                  exploration limits are set (truncated
+                                  verdicts depend on visit order)
+        ``partial_order``         exploration limits are set (POR is only
+                                  verdict-exact on complete explorations)
+        ``family``                pruning is off (a quotient run *is* a
+                                  wildcard run), or exploration limits are
+                                  set (a truncated quotient cannot speak for
+                                  every member)
+        ``store_path``            exploration limits are set (truncated
+                                  verdicts depend on the limit values, which
+                                  the store key does not encode)
+        ========================  ==============================================
+        """
+        limited = not self._limits_unset
+        limits_reason = "exploration limits are set"
+        statuses = []
+
+        def add(name: str, requested: bool, active: bool, reason: str) -> None:
+            statuses.append(
+                AccelerationStatus(
+                    name=name,
+                    requested=requested,
+                    active=active,
+                    reason="" if active or not requested else reason,
+                )
+            )
+
+        add(
+            "generalise_conflicts",
+            self.generalise_conflicts,
+            self.generalise_active,
+            limits_reason,
+        )
+        add(
+            "prefix_reuse",
+            self.prefix_reuse,
+            self.prefix_reuse_active,
+            limits_reason if limited else "pruning is off",
+        )
+        add(
+            "partial_order",
+            self.partial_order,
+            self.partial_order_active,
+            limits_reason,
+        )
+        add(
+            "family",
+            self.family,
+            self.family_active,
+            limits_reason if limited else "pruning is off",
+        )
+        add(
+            "store",
+            self.store_path is not None,
+            self.store_active,
+            limits_reason,
+        )
+        return tuple(statuses)
+
+
+class AccelerationStatus(NamedTuple):
+    """One row of :meth:`SynthesisConfig.resolved_accelerations`."""
+
+    name: str
+    requested: bool
+    active: bool
+    #: why a requested acceleration is inactive ("" when active/unrequested)
+    reason: str
 
 
 class SynthesisObserver:
@@ -443,6 +576,8 @@ class SynthesisCore:
         registry: Optional[HoleRegistry] = None,
         prefix_cache: Optional[PrefixCache] = None,
         telemetry=None,
+        store: Optional[VerdictStore] = None,
+        store_readonly: bool = False,
     ) -> None:
         self.system = system
         self.config = config
@@ -499,6 +634,27 @@ class SynthesisCore:
             self.prefix_cache = prefix_cache
         else:
             self.prefix_cache = PrefixCache(config.prefix_cache_capacity)
+        # A caller-owned store outliving this core (the process-backend
+        # worker keeps one across passes) is used as-is; otherwise the
+        # core opens — and later closes — its own when the config asks.
+        self._owns_store = False
+        if store is not None:
+            self.store: Optional[VerdictStore] = store
+        elif config.store_active:
+            self.store = VerdictStore(config.store_path)
+            self._owns_store = True
+        else:
+            self.store = None
+        #: read-only mode: consult but never append (the thread backend
+        #: evaluates outside the shared lock, so recording there would
+        #: race the registry-growth snapshot around each run)
+        self.store_readonly = store_readonly
+        self.store_attached = self.store is not None
+        if self.store is not None:
+            self._system_sig = system_signature(system)
+            self._flags_sig = flags_signature(config)
+        self.store_hits = 0
+        self.store_writes = 0
         self.solutions: List[Solution] = []
         self.evaluated = 0
         self.deduplicated = 0
@@ -554,12 +710,22 @@ class SynthesisCore:
         return result, explorer
 
     def _evaluate_inner(self, vector: CandidateVector) -> Tuple[VerificationResult, ExplorationKernel]:
+        concrete = not any(entry is WILDCARD for entry in vector.entries)
+        assignment = None
+        holes_before: Optional[Tuple[Hole, ...]] = None
+        if self.store is not None and concrete:
+            holes_before = self.registry.holes
+            assignment = merge_assignment(holes_before, vector.entries)
+            stored = self.store.lookup(
+                self._system_sig, self._flags_sig, assignment
+            )
+            if stored is not None and self._stored_run_usable(stored):
+                self.store_hits += 1
+                return self._replay_stored_run(stored)
         cache = self.prefix_cache
         resume: Optional[ExplorationCheckpoint] = None
         collect = False
-        cacheable = cache is not None and not any(
-            entry is WILDCARD for entry in vector.entries
-        )
+        cacheable = cache is not None and concrete
         if cacheable:
             if len(vector) == 0:
                 # The initial run *is* the empty-prefix exploration; keep
@@ -589,7 +755,134 @@ class SynthesisCore:
             cache.store((), explorer.checkpoint)
         if resume is not None:
             cache.note_hit(result.stats.prefix_states_reused)
+        if assignment is not None and not self.store_readonly:
+            result = self._record_stored_run(
+                assignment, holes_before, vector.entries, result, explorer
+            )
         return result, explorer
+
+    # -- verdict store ------------------------------------------------------
+
+    def _stored_run_usable(self, stored: StoredRun) -> bool:
+        """Whether a store hit satisfies everything this run must produce.
+
+        A stored success without a fingerprint cannot serve a run that
+        was asked to compute fingerprints — treat it as a miss and let
+        the cold run re-record with one.
+        """
+        if (
+            self.config.compute_fingerprints
+            and stored.verdict == Verdict.SUCCESS.value
+            and stored.fingerprint is None
+        ):
+            return False
+        return True
+
+    def _replay_stored_run(
+        self, stored: StoredRun
+    ) -> Tuple[VerificationResult, "_StoredRunExplorer"]:
+        """Rebuild a :class:`VerificationResult` from the store, sans model check.
+
+        Holes the original run discovered are *reserved* (placeholder
+        slots in discovery order); a later cold run binds the real hole
+        objects by name (:meth:`HoleRegistry.reserve`).
+        """
+        for name, action_names in stored.new_holes:
+            self.registry.reserve(
+                Hole(name, tuple(Action(action) for action in action_names))
+            )
+        executed = []
+        for name in stored.executed:
+            try:
+                executed.append(self.registry.hole_named(name))
+            except KeyError:
+                # The hole exists in the stored run but was never reserved
+                # nor discovered here — impossible for self-recorded runs,
+                # but tolerated for hand-edited journals.
+                executed.append(Hole(name, (Action(name),)))
+        stats_fields = {
+            key: value
+            for key, value in stored.stats.items()
+            if key in _RUN_STATS_FIELDS
+        }
+        result = VerificationResult(
+            verdict=Verdict(stored.verdict),
+            failure_kind=(
+                FailureKind(stored.failure_kind)
+                if stored.failure_kind
+                else None
+            ),
+            message=stored.message,
+            trace=None,
+            stats=RunStats(**stats_fields),
+            wildcard_encountered=stored.wildcard_encountered,
+            executed_holes=frozenset(executed),
+            failure_holes=None,
+            unmet_coverage=stored.unmet_coverage,
+            cut_holes=stored.cut_holes,
+            stored_pattern=stored.pattern,
+        )
+        return result, _StoredRunExplorer(stored.fingerprint)
+
+    def _record_stored_run(
+        self,
+        assignment: Tuple[Tuple[str, int], ...],
+        holes_before: Tuple[Hole, ...],
+        digits: Tuple[int, ...],
+        result: VerificationResult,
+        explorer: ExplorationKernel,
+    ) -> VerificationResult:
+        """Append one cold run's outcome to the store.
+
+        The failure pattern is generalised *here*, once, and handed back
+        on the result (``stored_pattern``) so :meth:`handle_result` does
+        not replay the counterexample a second time.
+        """
+        pattern_constraints = None
+        if result.is_failure and self.config.pruning:
+            pattern = self._pattern_for_failure(digits, result)
+            pattern_constraints = tuple(pattern.constraints)
+            result = dataclasses.replace(
+                result, stored_pattern=pattern_constraints
+            )
+        fingerprint = None
+        if result.is_success and self.config.compute_fingerprints:
+            fingerprint = explorer.fingerprint_visited()
+        new_holes = tuple(
+            (
+                hole.name,
+                tuple(action.name for action in hole.domain),
+            )
+            for hole in self.registry.holes[len(holes_before):]
+        )
+        stored = StoredRun(
+            verdict=result.verdict.value,
+            failure_kind=(
+                result.failure_kind.value
+                if result.failure_kind is not None
+                else None
+            ),
+            message=result.message,
+            stats=dataclasses.asdict(result.stats),
+            wildcard_encountered=result.wildcard_encountered,
+            executed=tuple(
+                sorted(hole.name for hole in result.executed_holes)
+            ),
+            unmet_coverage=result.unmet_coverage,
+            cut_holes=result.cut_holes,
+            fingerprint=fingerprint,
+            pattern=pattern_constraints,
+            new_holes=new_holes,
+        )
+        self.store.record(self._system_sig, self._flags_sig, assignment, stored)
+        self.store_writes += 1
+        return result
+
+    def close_store(self) -> None:
+        """Flush and close a core-owned store (no-op for caller-owned ones)."""
+        if self._owns_store and self.store is not None:
+            self.store.close()
+            self.store = None
 
     def _resume_checkpoint(
         self, digits: Tuple[int, ...], cache: PrefixCache
@@ -1029,6 +1322,10 @@ class SynthesisCore:
         report.por_rules_skipped = self.por_rules_skipped
         report.ample_states = self.ample_states
         report.peak_states = self.peak_states
+        report.store_enabled = self.store_attached
+        report.store_path = self.config.store_path
+        report.store_hits = self.store_hits
+        report.store_writes = self.store_writes
         tele = self.telemetry
         report.telemetry_enabled = tele.enabled
         if tele.enabled:
@@ -1126,6 +1423,10 @@ class SynthesisCore:
     def _pattern_for_failure(
         self, digits: Tuple[int, ...], result: VerificationResult
     ) -> PruningPattern:
+        if result.stored_pattern is not None:
+            # Precomputed — replayed from the verdict store, or computed
+            # once while recording to it; never generalise twice.
+            return PruningPattern(result.stored_pattern)
         if self.config.generalise_active:
             pattern = generalise_failure(
                 self.system, self.registry, digits, result,
@@ -1276,19 +1577,22 @@ class SynthesisEngine:
             explorer=config.explorer,
         )
         watch = Stopwatch.started()
-        with self.telemetry.span(
-            "synthesis", system=self.system.name, backend="sequential"
-        ) as span:
-            try:
-                core.run_initial()
-                self._run_passes(report)
-            except _StopSynthesis:
-                pass
-            span.set(evaluated=core.evaluated, solutions=len(core.solutions))
-        report.elapsed_seconds = watch.elapsed
-        report = core.finalize_report(report)
-        if self._owns_telemetry:
-            self.telemetry.close()
+        try:
+            with self.telemetry.span(
+                "synthesis", system=self.system.name, backend="sequential"
+            ) as span:
+                try:
+                    core.run_initial()
+                    self._run_passes(report)
+                except _StopSynthesis:
+                    pass
+                span.set(evaluated=core.evaluated, solutions=len(core.solutions))
+            report.elapsed_seconds = watch.elapsed
+            report = core.finalize_report(report)
+        finally:
+            core.close_store()
+            if self._owns_telemetry:
+                self.telemetry.close()
         return report
 
     def _run_passes(self, report: SynthesisReport) -> None:

@@ -71,8 +71,13 @@ class ParallelSynthesisEngine:
         self.telemetry, self._owns_telemetry = resolve_telemetry(
             self.config, telemetry
         )
+        # The verdict store is consulted read-only here: evaluations run
+        # outside the shared lock, so recording would race the registry
+        # snapshot taken around each model-checker run.  Thread runs still
+        # replay verdicts recorded by sequential/process runs.
         self.core = SynthesisCore(
-            system, self.config, observer, telemetry=self.telemetry
+            system, self.config, observer, telemetry=self.telemetry,
+            store_readonly=True,
         )
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -110,6 +115,7 @@ class ParallelSynthesisEngine:
                 )
         report.elapsed_seconds = watch.elapsed
         report = core.finalize_report(report)
+        core.close_store()
         if self._owns_telemetry:
             tele.close()
         return report

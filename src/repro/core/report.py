@@ -105,6 +105,13 @@ class SynthesisReport:
     #: largest visited-state count of any single candidate run — the
     #: run's memory high-water mark (surfaced in the matrix journal)
     peak_states: int = 0
+    #: durable verdict store (see repro.store): whether one was attached,
+    #: its directory, evaluations replayed from it, and runs appended to
+    #: it; ``evaluated - store_hits`` is the run's true model-check count
+    store_enabled: bool = False
+    store_path: Optional[str] = None
+    store_hits: int = 0
+    store_writes: int = 0
     #: observability layer (see repro.obs): whether telemetry ran, where
     #: the trace landed (None = no trace file), events emitted so far
     telemetry_enabled: bool = False
@@ -143,6 +150,11 @@ class SynthesisReport:
     def candidate_space(self) -> int:
         """The space the paper's "Candidates" column reports for this mode."""
         return self.wildcard_candidate_space if self.pruning else self.naive_candidate_space
+
+    @property
+    def model_checks(self) -> int:
+        """Model-checker runs actually performed (evaluated minus store hits)."""
+        return self.evaluated - self.store_hits
 
     @property
     def reduction_vs_naive(self) -> float:
@@ -205,6 +217,13 @@ class SynthesisReport:
                 f"family synthesis:  {self.family_checked:,} quotients checked, "
                 f"{self.family_splits:,} splits (depth {self.family_max_split_depth}), "
                 f"{self.family_candidates_avoided:,} checks avoided",
+            )
+        if self.store_enabled:
+            lines.insert(
+                -1,
+                f"verdict store:     {self.store_hits:,} replayed, "
+                f"{self.store_writes:,} recorded "
+                f"({self.model_checks:,} model checks performed)",
             )
         if self.prefix_cache_hits or self.prefix_cache_builds:
             lines.insert(

@@ -5,11 +5,15 @@ parallel *algorithm* but is GIL-bound in CPython; this package delivers the
 actual wall-clock speedups by sharding candidate evaluation across worker
 *processes*:
 
-* :mod:`repro.dist.coordinator` — batch scheduler, pattern rebroadcast,
-  deterministic result aggregation;
+* :mod:`repro.dist.coordinator` — shard-aligned batch planning, the
+  shared work-stealing task queue, pattern broadcast, deterministic
+  result aggregation;
 * :mod:`repro.dist.worker` — per-process evaluation loop sharing the
-  sequential engine's verdict path;
-* :mod:`repro.dist.messages` — the compact picklable wire protocol.
+  sequential engine's verdict path (and, when a verdict store is
+  configured, recording/replaying verdicts through it);
+* :mod:`repro.dist.messages` — the compact picklable wire protocol;
+* :mod:`repro.dist.wire` — packed wire forms (digit tuples + integer
+  counters) for candidate/verdict traffic.
 
 Quickstart::
 
@@ -18,11 +22,16 @@ Quickstart::
     report = DistributedSynthesisEngine(SystemSpec("msi-small"), workers=4).run()
 """
 
-from repro.dist.coordinator import DistributedSynthesisEngine, plan_batches
+from repro.dist.coordinator import (
+    DistributedSynthesisEngine,
+    plan_batches,
+    plan_shard_batches,
+)
 from repro.dist.messages import SystemSpec
 
 __all__ = [
     "DistributedSynthesisEngine",
     "SystemSpec",
     "plan_batches",
+    "plan_shard_batches",
 ]

@@ -10,17 +10,27 @@ paper's multi-worker wall-clock speedups on multi-core hosts.
 
 Design points:
 
-* **Batching beats static splitting.**  Each pass is cut into roughly
-  ``workers x batches_per_worker`` contiguous index ranges; a worker gets
-  a new batch the moment it returns one, so an unlucky worker stuck on
-  expensive candidates doesn't idle the rest (the thread backend's static
-  split suffers exactly that).
-* **Pattern exchange at batch boundaries.**  Newly accepted pruning
-  patterns ride along with the next batch sent to each worker, tracked by
-  per-worker version watermarks, so every worker prunes with (slightly
-  stale) global knowledge.  Evaluated-candidate counts therefore vary
-  slightly run to run, exactly like the paper's 855-vs-825 threads column;
-  solutions do not.
+* **Work stealing beats static splitting.**  Each pass is cut into
+  roughly ``workers x batches_per_worker`` shard-aligned ranges
+  (:func:`repro.core.family.plan_family_shards` is the shard unit in both
+  1-by-1 and family mode) and the batches go on **one shared task queue**
+  every worker pulls from; a worker that drew cheap (heavily pruned)
+  ranges immediately steals the next pending batch instead of idling
+  behind a fixed assignment (the thread backend's static split suffers
+  exactly that).
+* **Pattern exchange by broadcast.**  With a shared queue the coordinator
+  cannot know which worker runs the next batch, so newly accepted pruning
+  patterns are broadcast to every worker's control queue
+  (:class:`~repro.dist.messages.PatternUpdate`) as soon as the producing
+  batch merges, tracked by a global version watermark.  Every worker
+  prunes with (slightly stale) global knowledge; evaluated-candidate
+  counts therefore vary slightly run to run, exactly like the paper's
+  855-vs-825 threads column — solutions do not.
+* **Packed wire format.**  Candidate and verdict traffic is integer
+  codes and hole-digit tuples (:mod:`repro.dist.wire`): tasks are index
+  ranges, patterns are constraint tuples, solutions come home as
+  :class:`~repro.dist.wire.WireSolution` digit tuples that the
+  coordinator re-renders against its canonical hole snapshot.
 * **Deterministic aggregation.**  Solutions and newly discovered holes
   are buffered per batch and merged in batch index order at the pass
   boundary, so the reported solution order and the canonical hole order
@@ -49,7 +59,6 @@ import os
 import queue as queue_module
 import time
 from collections import deque
-from dataclasses import replace
 from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.core.engine import (
@@ -69,6 +78,7 @@ from repro.dist.messages import (
     BatchTask,
     HoleSpec,
     PassStart,
+    PatternUpdate,
     Shutdown,
     SystemSpec,
     WorkerCrash,
@@ -76,7 +86,6 @@ from repro.dist.messages import (
 from repro.dist.worker import worker_main
 from repro.errors import SynthesisError
 from repro.obs import Telemetry
-from repro.util.itertools2 import product_size
 from repro.util.timing import Stopwatch
 
 #: Safety net: a worker silent for this long with no live process is fatal.
@@ -103,6 +112,41 @@ def plan_batches(
     target = max(1, workers * batches_per_worker)
     size = max(min_batch_size, -(-total // target))
     return [(start, min(start + size, total)) for start in range(0, total, size)]
+
+
+def plan_shard_batches(
+    radices,
+    workers: int,
+    batches_per_worker: int = 4,
+    min_batch_size: int = 16,
+) -> List[Tuple[int, int]]:
+    """Cut the candidate index space into *shard-aligned* dispatch batches.
+
+    Family shards (:func:`repro.core.family.plan_family_shards`) are
+    contiguous ascending blocks of the lexicographic candidate order, so
+    projecting them onto index ranges and coalescing consecutive ranges
+    up to the :func:`plan_batches` size floor yields batches with the
+    same count/size guarantees whose boundaries also respect shard
+    boundaries — the shard unit is then identical between 1-by-1 and
+    family passes, and a future shard-granular scheduler can reuse the
+    plan unchanged.
+    """
+    target = max(1, workers * batches_per_worker)
+    shards = plan_family_shards(radices, target)
+    total = sum(shard.size for shard in shards)
+    if total <= 0:
+        return []
+    floor = max(min_batch_size, -(-total // target))
+    batches: List[Tuple[int, int]] = []
+    start = position = 0
+    for shard in shards:
+        position += shard.size
+        if position - start >= floor:
+            batches.append((start, position))
+            start = position
+    if position > start:
+        batches.append((start, position))
+    return batches
 
 
 class DistributedSynthesisEngine:
@@ -175,7 +219,8 @@ class DistributedSynthesisEngine:
             self.system, self.config, observer, telemetry=self.telemetry
         )
         self._processes: List[multiprocessing.process.BaseProcess] = []
-        self._task_queues: List = []
+        self._tasks = None
+        self._control_queues: List = []
         self._results = None
 
     # -- worker lifecycle ---------------------------------------------------
@@ -185,22 +230,36 @@ class DistributedSynthesisEngine:
             return
         ctx = multiprocessing.get_context(self._start_method)
         self._results = ctx.Queue()
+        # One shared task queue (the work-stealing pool) plus a private
+        # FIFO control queue per worker for the ordered messages
+        # (PassStart, PatternUpdate, Shutdown).
+        self._tasks = ctx.Queue()
         for worker_id in range(self.workers):
-            tasks = ctx.Queue()
+            control = ctx.Queue()
             process = ctx.Process(
                 target=worker_main,
-                args=(worker_id, self.spec, self.config, tasks, self._results),
+                args=(worker_id, self.spec, self.config, self._tasks,
+                      control, self._results),
                 name=f"repro-dist-{worker_id}",
                 daemon=True,
             )
             process.start()
-            self._task_queues.append(tasks)
+            self._control_queues.append(control)
             self._processes.append(process)
 
     def _shutdown_workers(self) -> None:
-        for tasks in self._task_queues:
+        # One Shutdown per worker on the shared queue stops workers
+        # blocked stealing; one per control queue stops workers blocked
+        # waiting for a pass to catch up.
+        if self._tasks is not None:
+            for _ in self._processes:
+                try:
+                    self._tasks.put(Shutdown())
+                except (OSError, ValueError):
+                    pass
+        for control in self._control_queues:
             try:
-                tasks.put(Shutdown())
+                control.put(Shutdown())
             except (OSError, ValueError):
                 pass
         for process in self._processes:
@@ -211,40 +270,45 @@ class DistributedSynthesisEngine:
                 process.join(timeout=1)
         if self._results is not None:
             self._results.cancel_join_thread()
-        for tasks in self._task_queues:
-            tasks.cancel_join_thread()
+        if self._tasks is not None:
+            self._tasks.cancel_join_thread()
+        for control in self._control_queues:
+            control.cancel_join_thread()
         self._processes = []
-        self._task_queues = []
+        self._tasks = None
+        self._control_queues = []
         self._results = None
 
-    def _next_result(
-        self, inflight: Dict[int, int]
-    ) -> Union[BatchResult, WorkerCrash]:
-        """Next batch result, watching for hard-killed busy workers.
+    def _next_result(self, outstanding: int) -> Union[BatchResult, WorkerCrash]:
+        """Next batch result, watching for hard-killed workers.
 
-        A worker that dies *with batches in flight* would hang the drain
-        loop forever; a dead idle worker is tolerated until dispatch next
-        needs it (its queued Shutdown is moot).  Crashes with a traceback
-        arrive as ordinary :class:`WorkerCrash` messages, not here.
+        With a shared task queue the coordinator no longer knows which
+        worker holds which batch, so the safety net is collective: if any
+        worker process is dead while batches are outstanding and several
+        consecutive polls come back empty, the stolen batch is presumed
+        lost with it.  Crashes with a traceback arrive as ordinary
+        :class:`WorkerCrash` messages, not here.
         """
+        empty_polls = 0
         while True:
             try:
                 return self._results.get(timeout=_RESULT_POLL_SECONDS)
             except queue_module.Empty:
-                dead_busy = [
+                dead = [
                     process.name
-                    for worker_id, process in enumerate(self._processes)
-                    if inflight.get(worker_id, 0) and not process.is_alive()
+                    for process in self._processes
+                    if not process.is_alive()
                 ]
-                if dead_busy:
-                    # Drain a possible dying message before giving up.
-                    try:
-                        return self._results.get(timeout=_RESULT_POLL_SECONDS)
-                    except queue_module.Empty:
-                        raise SynthesisError(
-                            f"worker process(es) died mid-batch: "
-                            f"{', '.join(dead_busy)}"
-                        ) from None
+                if not dead or not outstanding:
+                    continue
+                empty_polls += 1
+                # Give live workers a few grace polls: a dead *idle*
+                # worker is harmless while the others chew a long batch.
+                if empty_polls >= 3:
+                    raise SynthesisError(
+                        f"worker process(es) died mid-batch: "
+                        f"{', '.join(dead)}"
+                    ) from None
 
     # -- run ---------------------------------------------------------------
 
@@ -277,6 +341,7 @@ class DistributedSynthesisEngine:
                 )
         report.elapsed_seconds = watch.elapsed
         report = core.finalize_report(report)
+        core.close_store()
         if self._owns_telemetry:
             tele.close()
         return report
@@ -324,9 +389,8 @@ class DistributedSynthesisEngine:
             )
         else:
             shards = ()
-            total = product_size(radices)
-            batches = plan_batches(
-                total, self.workers, self.batches_per_worker,
+            batches = plan_shard_batches(
+                radices, self.workers, self.batches_per_worker,
                 self.min_batch_size,
             )
         self._ensure_workers()
@@ -343,17 +407,18 @@ class DistributedSynthesisEngine:
             family=family_mode,
             family_shards=tuple(shard.to_wire() for shard in shards),
         )
-        watermarks: Dict[int, Tuple[int, int]] = {}
-        for worker_id, tasks in enumerate(self._task_queues):
-            tasks.put(pass_start)
-            watermarks[worker_id] = (
-                core.fail_table.version,
-                core.success_table.version,
-            )
+        # PassStart goes on the control queues *before* any task enters
+        # the shared queue: each control queue is FIFO, so a worker that
+        # steals a task from this pass is guaranteed to find the matching
+        # PassStart when it blocks to catch up.
+        for control in self._control_queues:
+            control.put(pass_start)
+        # One global pattern watermark (the broadcast reaches everyone).
+        fail_seen = core.fail_table.version
+        success_seen = core.success_table.version
 
         pending: Deque[Tuple[int, int]] = deque(batches)
         outstanding = 0
-        inflight: Dict[int, int] = {}
         next_batch_id = 0
         pass_base_evaluated = core.evaluated
         solutions_by_batch: Dict[int, Tuple] = {}
@@ -366,12 +431,11 @@ class DistributedSynthesisEngine:
             buffered = sum(len(sols) for sols in solutions_by_batch.values())
             return len(core.solutions) + buffered
 
-        def dispatch(worker_id: int) -> None:
+        def dispatch() -> None:
             nonlocal outstanding, next_batch_id
             if stop_dispatch or not pending:
                 return
             start, end = pending.popleft()
-            fail_seen, success_seen = watermarks[worker_id]
             budget = None
             if config.max_evaluations is not None:
                 budget = max(0, config.max_evaluations - core.evaluated)
@@ -379,22 +443,33 @@ class DistributedSynthesisEngine:
                 batch_id=next_batch_id,
                 start=start,
                 end=end,
-                fail_delta=core.fail_table.constraints_since(fail_seen),
-                success_delta=core.success_table.constraints_since(success_seen),
                 eval_budget=budget,
+                pass_index=report.passes,
             )
             next_batch_id += 1
-            watermarks[worker_id] = (
-                core.fail_table.version,
-                core.success_table.version,
-            )
-            self._task_queues[worker_id].put(task)
+            self._tasks.put(task)
             outstanding += 1
-            inflight[worker_id] = inflight.get(worker_id, 0) + 1
 
-        for worker_id in range(len(self._task_queues)):
-            for _ in range(self.max_inflight):
-                dispatch(worker_id)
+        def broadcast_patterns() -> None:
+            nonlocal fail_seen, success_seen
+            fail_delta = core.fail_table.constraints_since(fail_seen)
+            success_delta = core.success_table.constraints_since(success_seen)
+            if not fail_delta and not success_delta:
+                return
+            fail_seen = core.fail_table.version
+            success_seen = core.success_table.version
+            update = PatternUpdate(
+                pass_index=report.passes,
+                fail_delta=fail_delta,
+                success_delta=success_delta,
+            )
+            for control in self._control_queues:
+                control.put(update)
+
+        # Prime the shared queue with enough work to keep every worker's
+        # pipeline full; one more batch enters per result merged.
+        for _ in range(min(len(pending), self.workers * self.max_inflight)):
+            dispatch()
 
         tele = self.telemetry
         instrumented = tele.enabled
@@ -407,17 +482,16 @@ class DistributedSynthesisEngine:
         while outstanding:
             if instrumented:
                 wait_begin = time.perf_counter()
-                result = self._next_result(inflight)
+                result = self._next_result(outstanding)
                 wait_seconds += time.perf_counter() - wait_begin
             else:
-                result = self._next_result(inflight)
+                result = self._next_result(outstanding)
             outstanding -= 1
             if isinstance(result, WorkerCrash):
                 raise SynthesisError(
                     f"distributed worker {result.worker_id} crashed:\n"
                     f"{result.traceback_text}"
                 )
-            inflight[result.worker_id] -= 1
             self._merge_batch(report, result, holes)
             solutions_by_batch[result.start] = result.solutions
             holes_by_batch[result.start] = result.new_holes
@@ -448,7 +522,8 @@ class DistributedSynthesisEngine:
                     peak_states=core.peak_states,
                 )
             if not stop_dispatch:
-                dispatch(result.worker_id)
+                broadcast_patterns()
+                dispatch()
 
         if instrumented and wait_seconds:
             # Coordinator idle time spent blocked on worker results this
@@ -498,6 +573,8 @@ class DistributedSynthesisEngine:
         core.ample_states += result.ample_states
         if result.peak_states > core.peak_states:
             core.peak_states = result.peak_states
+        core.store_hits += result.store_hits
+        core.store_writes += result.store_writes
         core.family_checked += result.family_checked
         core.family_splits += result.family_splits
         core.family_candidates_avoided += result.family_candidates_avoided
@@ -542,20 +619,21 @@ class DistributedSynthesisEngine:
         limit = self.config.solution_limit
         run_base = pass_base_evaluated
         for start in sorted(evaluated_by_batch):
-            for solution in solutions_by_batch.get(start, ()):
+            for wire in solutions_by_batch.get(start, ()):
                 if limit is not None and len(core.solutions) >= limit:
                     break  # excess solutions are dropped, never observed
-                rebased = replace(
-                    solution, run_index=run_base + solution.run_index
+                # Inflate the wire form against the canonical pass hole
+                # snapshot (digit positions match the worker's by
+                # construction), rebasing the run index in the same step.
+                rebased = wire.to_solution(
+                    holes, run_index=run_base + wire.run_index
                 )
                 core.solutions.append(rebased)
                 core.observer.on_solution(rebased, holes)
             run_base += evaluated_by_batch[start]
-        known_names = set(core.registry.names())
         for start in sorted(holes_by_batch):
             for spec in holes_by_batch[start]:
-                if spec.name in known_names:
-                    continue
-                core.registry.position_of(spec.placeholder(), register=True)
-                known_names.add(spec.name)
+                # reserve() is idempotent per name, so holes reported by
+                # several batches merge once, in batch index order.
+                core.registry.reserve(spec.placeholder())
 

@@ -17,13 +17,23 @@ The coordinator (:mod:`repro.dist.coordinator`) and the worker processes
 
 Message flow, per enumeration pass::
 
-    coordinator                         worker (xN)
-    -----------                         -----------
-    PassStart(holes, pattern snapshot) ->  reset pass-local core
-    BatchTask(range, pattern deltas)   ->  walk range, model check
+    coordinator                          worker (xN)
+    -----------                          -----------
+    control:  PassStart(holes, tables) ->  reset pass-local core
+    shared:   BatchTask(range)         ->  any idle worker steals it
                                       <-   BatchResult(deltas)
+    control:  PatternUpdate(deltas)    ->  fold into pass tables
     ... until the pass's batches drain; new holes merge at the pass
     boundary, new patterns merge (and rebroadcast) at batch boundaries.
+
+Work stealing: :class:`BatchTask` messages go on **one shared queue** all
+workers pull from, so a worker that drew cheap (heavily pruned) ranges
+immediately picks up the next pending batch instead of idling behind a
+fixed per-worker plan.  Per-worker FIFO *control* queues carry the
+ordered messages (:class:`PassStart`, :class:`PatternUpdate`,
+:class:`Shutdown`); a worker that steals a task from a newer pass first
+drains its control queue until its pass catches up with the task's
+``pass_index``.
 """
 
 from __future__ import annotations
@@ -34,7 +44,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.hole import Hole
 from repro.core.action import Action
 from repro.core.family import WireFamily
-from repro.core.report import Solution
+from repro.dist.wire import WireSolution
 from repro.mc.system import TransitionSystem
 from repro.protocols.catalog import build_skeleton
 
@@ -155,6 +165,26 @@ class BatchTask:
     fail_delta: Tuple[Constraints, ...] = ()
     success_delta: Tuple[Constraints, ...] = ()
     eval_budget: Optional[int] = None
+    #: which pass this task belongs to.  Tasks ride the shared queue, so a
+    #: worker may steal one before reading its own PassStart; it blocks on
+    #: its control queue until its pass catches up with this index.
+    pass_index: int = 0
+
+
+@dataclass(frozen=True)
+class PatternUpdate:
+    """Mid-pass pruning-pattern broadcast on the control queues.
+
+    With a shared task queue the coordinator no longer knows which worker
+    will run the next batch, so pattern deltas cannot ride the tasks
+    per-recipient; instead every accepted pattern is broadcast to all
+    workers as soon as the producing batch merges.  Stale updates (from a
+    pass the worker already left) are ignored.
+    """
+
+    pass_index: int
+    fail_delta: Tuple[Constraints, ...] = ()
+    success_delta: Tuple[Constraints, ...] = ()
 
 
 @dataclass
@@ -175,8 +205,11 @@ class BatchResult:
     new_success_patterns: Tuple[Constraints, ...] = ()
     #: holes first encountered in this batch, in local discovery order
     new_holes: Tuple[HoleSpec, ...] = ()
-    #: run_index is 1-based *within this batch* (coordinator rebases)
-    solutions: Tuple[Solution, ...] = ()
+    #: solutions in packed wire form (digit tuples + counters, no name
+    #: pairs — the coordinator rebuilds assignments from its pass hole
+    #: snapshot); run_index is 1-based *within this batch* (rebased on
+    #: merge)
+    solutions: Tuple[WireSolution, ...] = ()
     #: prefix-cache deltas (hits, checkpoint builds, states reused) — the
     #: worker's cache outlives batches and passes, so these are per-batch
     #: differences of its counters, mergeable like every other field here
@@ -201,6 +234,10 @@ class BatchResult:
     #: coordinator folds it into its own registry, so aggregated metrics
     #: match a single-process run
     metrics: Dict[str, dict] = field(default_factory=dict)
+    #: verdict-store deltas: evaluations replayed from / runs appended to
+    #: the worker's store during this batch (0 when no store is attached)
+    store_hits: int = 0
+    store_writes: int = 0
     budget_exhausted: bool = False
     inherent_failure: bool = False
     inherent_failure_message: str = ""

@@ -48,14 +48,17 @@ from repro.dist.messages import (
     BatchTask,
     HoleSpec,
     PassStart,
+    PatternUpdate,
     Shutdown,
     SystemSpec,
     WorkerCrash,
 )
+from repro.dist.wire import WireSolution
 from repro.errors import SynthesisError
 from repro.mc.system import TransitionSystem
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.obs.metrics import diff_snapshots
+from repro.store import VerdictStore
 
 
 class WorkerHoleRegistry(HoleRegistry):
@@ -133,7 +136,22 @@ class BatchRunner:
         #: coordinator aggregates metrics from the per-batch deltas)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._config = replace(config, solution_limit=None, max_evaluations=None)
+        # Whether the verdict store participates is decided by the
+        # *original* config (the coordinator resolves the same property on
+        # its side), not the limit-stripped worker copy — otherwise a
+        # limits-capped run would record on workers while the coordinator
+        # stood its store down.  One store handle outlives passes; each
+        # pass-local core borrows it rather than owning it.
+        self._store: Optional[VerdictStore] = (
+            VerdictStore(config.store_path) if config.store_active else None
+        )
+        if self._store is None:
+            self._config = replace(self._config, store_path=None)
         self.core: Optional[SynthesisCore] = None
+        #: index of the pass the runner is currently configured for; used
+        #: to pair stolen tasks with their PassStart and to drop stale
+        #: PatternUpdate messages
+        self.pass_index = -1
         self._radices: Tuple[int, ...] = ()
         self._first_new = 0
         self._family = False
@@ -182,16 +200,32 @@ class BatchRunner:
             registry=WorkerHoleRegistry(msg.hole_specs),
             prefix_cache=self._prefix_cache,
             telemetry=self.telemetry,
+            store=self._store,
         )
         for constraints in msg.fail_patterns:
             core.fail_table.add(PruningPattern(constraints))
         for constraints in msg.success_patterns:
             core.success_table.add(PruningPattern(constraints))
         self.core = core
+        self.pass_index = msg.pass_index
         self._radices = tuple(spec.arity for spec in msg.hole_specs)
         self._first_new = msg.first_new
         self._family = msg.family
         self._family_shards = msg.family_shards
+
+    def apply_patterns(self, msg: PatternUpdate) -> None:
+        """Fold a mid-pass pattern broadcast into the pass tables.
+
+        Updates from a pass the runner already left (or has not reached)
+        are dropped: the next PassStart snapshot carries those patterns.
+        """
+        core = self.core
+        if core is None or msg.pass_index != self.pass_index:
+            return
+        for constraints in msg.fail_delta:
+            core.fail_table.add(PruningPattern(constraints))
+        for constraints in msg.success_delta:
+            core.success_table.add(PruningPattern(constraints))
 
     def run_batch(self, task: BatchTask) -> BatchResult:
         """Walk one candidate range and return the mergeable deltas."""
@@ -217,6 +251,8 @@ class BatchRunner:
         )
         por_skipped_seen = core.por_rules_skipped
         ample_states_seen = core.ample_states
+        store_hits_seen = core.store_hits
+        store_writes_seen = core.store_writes
         family_checked_seen = core.family_checked
         family_splits_seen = core.family_splits
         family_avoided_seen = core.family_candidates_avoided
@@ -300,7 +336,9 @@ class BatchRunner:
                 HoleSpec.from_hole(hole) for hole in holes[holes_seen:]
             ),
             solutions=tuple(
-                replace(solution, run_index=solution.run_index - evaluated_seen)
+                WireSolution.from_solution(
+                    solution, run_index=solution.run_index - evaluated_seen
+                )
                 for solution in core.solutions[solutions_seen:]
             ),
             prefix_cache_hits=prefix_now[0] - prefix_seen[0],
@@ -316,6 +354,8 @@ class BatchRunner:
                 core.family_candidates_avoided - family_avoided_seen
             ),
             metrics=metrics_delta,
+            store_hits=core.store_hits - store_hits_seen,
+            store_writes=core.store_writes - store_writes_seen,
             budget_exhausted=budget_exhausted,
             inherent_failure=core.inherent_failure,
             inherent_failure_message=core.inherent_failure_message,
@@ -340,10 +380,27 @@ class BatchRunner:
                 children = core.process_family(family, resume, depth, counters)
                 worklist.extend(reversed(children))
 
+    def close(self) -> None:
+        """Release the runner's lifetime resources (the verdict store)."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
 
 def worker_main(worker_id: int, spec: SystemSpec, config: SynthesisConfig,
-                task_queue, result_queue) -> None:
-    """Process entry point: serve PassStart/BatchTask until Shutdown.
+                task_queue, control_queue, result_queue) -> None:
+    """Process entry point: steal BatchTasks until Shutdown.
+
+    ``task_queue`` is shared by all workers (the work-stealing pool);
+    ``control_queue`` is this worker's private FIFO carrying the ordered
+    messages — :class:`PassStart`, :class:`PatternUpdate`,
+    :class:`Shutdown`.  A stolen task may belong to a pass whose
+    PassStart this worker has not read yet, so before running it the
+    worker drains its control queue (blocking) until its pass index
+    catches up with the task's; the coordinator enqueues every PassStart
+    before that pass's tasks, so the wait always terminates.  Pattern
+    updates already queued are drained opportunistically so a freshly
+    stolen batch prunes with the newest broadcast tables.
 
     When the shipped config enables telemetry the worker opens its own
     bundle — with a private trace sink at ``<trace_path>.worker-<id>``
@@ -351,23 +408,46 @@ def worker_main(worker_id: int, spec: SystemSpec, config: SynthesisConfig,
     one stderr is noise) — and its metrics travel home as per-batch
     snapshot deltas in :class:`BatchResult`.
     """
+    import queue as queue_module
+
     telemetry = None
+    runner = None
     try:
         if config.telemetry_active:
             telemetry = Telemetry.from_config(config, worker_id=worker_id)
         runner = BatchRunner(
             spec.build(), config, worker_id=worker_id, telemetry=telemetry
         )
-        while True:
-            message = task_queue.get()
+
+        def handle_control(message) -> bool:
+            """Apply one control message; True means Shutdown."""
             if isinstance(message, Shutdown):
-                return
+                return True
             if isinstance(message, PassStart):
                 runner.start_pass(message)
-                continue
-            result_queue.put(runner.run_batch(message))
+            elif isinstance(message, PatternUpdate):
+                runner.apply_patterns(message)
+            return False
+
+        while True:
+            task = task_queue.get()
+            if isinstance(task, Shutdown):
+                return
+            while runner.pass_index < task.pass_index:
+                if handle_control(control_queue.get()):
+                    return
+            while True:  # opportunistic drain: newest patterns, no block
+                try:
+                    message = control_queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                if handle_control(message):
+                    return
+            result_queue.put(runner.run_batch(task))
     except BaseException:
         result_queue.put(WorkerCrash(worker_id, traceback.format_exc()))
     finally:
+        if runner is not None:
+            runner.close()
         if telemetry is not None:
             telemetry.close()

@@ -67,6 +67,7 @@ def _synthesis_config(cell: CellSpec) -> SynthesisConfig:
         solution_limit=cell.solution_limit,
         max_evaluations=cell.max_evaluations,
         explorer=cell.explorer,
+        store_path=cell.store,
     )
 
 
@@ -102,6 +103,8 @@ def _run_synth_cell(cell: CellSpec, telemetry=None) -> Dict[str, Any]:
         "family_avoided": (
             report.family_candidates_avoided if report.family else None
         ),
+        "store_hits": report.store_hits if report.store_enabled else None,
+        "model_checks": report.model_checks if report.store_enabled else None,
         "ok": bool(report.solutions),
         "status": "ok" if report.solutions else "no-solutions",
     }

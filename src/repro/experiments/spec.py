@@ -70,6 +70,7 @@ class CellSpec:
     solution_limit: Optional[int] = None
     max_evaluations: Optional[int] = None
     max_states: Optional[int] = None
+    store: Optional[str] = None  #: verdict-store directory (synth cells)
     timeout_seconds: Optional[float] = None
     estimate_naive_from: Optional[str] = None
     estimate_samples: int = 25

@@ -29,6 +29,8 @@ divergence here is a real engine divergence, not a harness artifact.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -81,7 +83,16 @@ class KernelConfig:
 
 @dataclass(frozen=True)
 class SynthLatticeConfig:
-    """One synthesis configuration (engine + backend level)."""
+    """One synthesis configuration (engine + backend level).
+
+    ``store`` is a verdict-store *tag*: configs sharing a tag share one
+    store directory for the duration of a spec sweep, in list order —
+    so a recording config listed before a same-tag config makes the
+    latter a warm (replaying) run.  The store promises verdict-for-
+    verdict equivalence, so every cross-config comparison below applies
+    to store configs unchanged; sequential warm runs additionally
+    promise zero model checks.
+    """
 
     name: str
     backend: str = "sequential"
@@ -93,6 +104,7 @@ class SynthLatticeConfig:
     prefix_reuse: bool = True
     generalise: bool = True
     family: bool = False
+    store: str = ""
 
     @property
     def evaluated_exact(self) -> bool:
@@ -190,6 +202,17 @@ def ablation_lattice() -> Lattice:
             SynthLatticeConfig("family-threads", family=True, backend="threads"),
             SynthLatticeConfig(
                 "family-processes", family=True, backend="processes"
+            ),
+            # The verdict store: a cold recording run must behave
+            # exactly like the reference, and the same-tag run after it
+            # replays warm — still pinned against every promise above.
+            # The processes pair drives recording and replay through
+            # the work-stealing shard path.
+            SynthLatticeConfig("store", store="seq"),
+            SynthLatticeConfig("store-warm", store="seq"),
+            SynthLatticeConfig("store-processes", backend="processes", store="dist"),
+            SynthLatticeConfig(
+                "store-processes-warm", backend="processes", store="dist"
             ),
         ),
     )
@@ -454,9 +477,17 @@ class DifferentialRunner:
             )
             check = self._check(spec, configs, ())
         else:
+            # A warm store config only reproduces with its same-tag
+            # recording predecessors in place, so keep the whole tag.
+            tags = {
+                c.store for c in self.lattice.synth
+                if c.name in names and c.store
+            }
             configs = tuple(
                 c for c in self.lattice.synth
-                if c.name in names or c.name == self.lattice.synth[0].name
+                if c.name in names
+                or c.name == self.lattice.synth[0].name
+                or (c.store and c.store in tags)
             )
             check = self._check(spec, (), configs)
         return any(d.phase == divergence.phase for d in check.divergences)
@@ -603,14 +634,18 @@ class DifferentialRunner:
         check: SpecCheck,
     ) -> None:
         reports: Dict[str, Any] = {}
-        for sc in configs:
-            try:
-                reports[sc.name] = self._synth_run(spec, sc)
-            except Exception as exc:  # noqa: BLE001 - sweep must survive
-                check.divergences.append(Divergence(
-                    "synth", "error", sc.name, "",
-                    f"{type(exc).__name__}: {exc}",
-                ))
+        warmed: set = set()
+        with tempfile.TemporaryDirectory(prefix="verc3-fuzz-store-") as root:
+            for sc in configs:
+                try:
+                    reports[sc.name] = self._synth_run(spec, sc, root)
+                except Exception as exc:  # noqa: BLE001 - sweep must survive
+                    check.divergences.append(Divergence(
+                        "synth", "error", sc.name, "",
+                        f"{type(exc).__name__}: {exc}",
+                    ))
+                    continue
+                self._check_store_promises(sc, reports[sc.name], warmed, check)
         baseline_name = configs[0].name
         baseline = reports.get(baseline_name)
         reference = spec.reference_assignment
@@ -658,6 +693,40 @@ class DifferentialRunner:
                         "per-solution visited-set fingerprints differ",
                     ))
 
+    def _check_store_promises(
+        self,
+        sc: SynthLatticeConfig,
+        report: Any,
+        warmed: set,
+        check: SpecCheck,
+    ) -> None:
+        """Absolute verdict-store promises, beyond the cross-config ones.
+
+        Only the sequential backend promises exact hit accounting: its
+        enumeration walk is deterministic, so a cold run records every
+        evaluated candidate and the same-tag warm run replays all of
+        them.  The parallel backends prune with timing-dependent reach —
+        a warm run may evaluate a candidate its cold twin pruned — so
+        for them the store is pinned only through the solution-set and
+        fingerprint comparisons every config already gets.
+        """
+        if not sc.store or not getattr(report, "store_enabled", False):
+            return
+        if sc.backend == "sequential":
+            if sc.store in warmed and report.model_checks != 0:
+                check.divergences.append(Divergence(
+                    "synth", "store", sc.name, "",
+                    f"warm run performed {report.model_checks} model "
+                    f"checks ({report.store_hits} replayed)",
+                ))
+            if sc.store not in warmed and report.store_writes != report.evaluated:
+                check.divergences.append(Divergence(
+                    "synth", "store", sc.name, "",
+                    f"cold run recorded {report.store_writes} of "
+                    f"{report.evaluated} verdicts",
+                ))
+        warmed.add(sc.store)
+
     # -- single runs --------------------------------------------------------
 
     def _kernel_reference_run(
@@ -697,7 +766,9 @@ class DifferentialRunner:
         resolver = resolver_for_assignment(holes, spec.bug_assignment)
         return replay_trace(system, result.trace, resolver)
 
-    def _synth_run(self, spec: ProtocolSpec, sc: SynthLatticeConfig):
+    def _synth_run(
+        self, spec: ProtocolSpec, sc: SynthLatticeConfig, store_root: str
+    ):
         config = SynthesisConfig(
             explorer=sc.explorer,
             packed=sc.packed,
@@ -707,6 +778,9 @@ class DifferentialRunner:
             family=sc.family,
             compute_fingerprints=True,
             max_evaluations=self.max_evaluations,
+            store_path=(
+                os.path.join(store_root, sc.store) if sc.store else None
+            ),
         )
         if sc.backend == "sequential":
             system, _holes = build_skeleton_from_spec(spec, symmetry=sc.symmetry)

@@ -119,6 +119,12 @@ class VerificationResult:
             execution branch during this run.  Empty on wildcard-free runs.
             Family-based synthesis uses the earliest (minimum-depth) cut to
             pick the hole an ambiguous family should split on.
+        stored_pattern: the generalised failure pattern already computed
+            for this run — either replayed from the verdict store or
+            computed once when recording to it.  ``None`` means "not
+            precomputed" (compute as usual); a tuple (possibly empty)
+            short-circuits pattern generalisation so store hits never
+            re-run counterexample replay.
     """
 
     verdict: Verdict
@@ -131,6 +137,7 @@ class VerificationResult:
     failure_holes: Optional[FrozenSet[Any]] = None
     unmet_coverage: Tuple[str, ...] = ()
     cut_holes: Tuple[Tuple[str, int], ...] = ()
+    stored_pattern: Optional[Tuple[Tuple[int, int], ...]] = None
 
     @property
     def is_success(self) -> bool:

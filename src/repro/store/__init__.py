@@ -1,0 +1,47 @@
+"""Durable cross-run verdict store (CQRS: journal + SQLite projection).
+
+Synthesis re-verifies the same candidates over and over: repeated CLI
+runs, overlapping matrix cells, warm benchmark passes, and distributed
+workers all dispatch model-checker runs whose verdicts were already
+computed somewhere.  This package memoises those verdicts *durably*:
+
+* :mod:`repro.store.journal` — an append-only ``journal.jsonl`` is the
+  source of truth.  Appends are atomic under an advisory file lock, a
+  torn trailing line (a killed writer) is detected and repaired, and the
+  journal is the only artifact that must survive.
+* :mod:`repro.store.projection` — a SQLite table projected *from* the
+  journal gives O(1) key lookup.  The projection is disposable: it can
+  be deleted (or corrupted) at any time and is rebuilt by replaying the
+  journal.
+* :mod:`repro.store.store` — :class:`VerdictStore` front end: verdicts
+  are keyed by ``(system signature, flags signature, candidate
+  assignment)`` where the assignment is *name-keyed* (hole name ->
+  action index), so lookups are independent of hole discovery order
+  across backends and processes.
+
+The engine integration (what is stored for one model-checker run and how
+a hit replays) lives in :mod:`repro.core.engine`; this package knows
+nothing about transition systems beyond their signature surface.
+"""
+
+from repro.store.journal import VerdictJournal
+from repro.store.projection import SqliteProjection
+from repro.store.store import (
+    StoredRun,
+    VerdictStore,
+    candidate_key,
+    flags_signature,
+    open_store,
+    system_signature,
+)
+
+__all__ = [
+    "SqliteProjection",
+    "StoredRun",
+    "VerdictJournal",
+    "VerdictStore",
+    "candidate_key",
+    "flags_signature",
+    "open_store",
+    "system_signature",
+]
